@@ -1,0 +1,57 @@
+package setagree
+
+import (
+	"setagree/internal/bg"
+)
+
+// SafeAgreement is the Borowsky–Gafni safe agreement object — the
+// primitive behind the BG simulation that defines the set-consensus
+// partial order the paper builds on ([2, 6]). Propose is wait-free;
+// Resolve reports the agreed value once no process is inside the
+// propose's doorway. A process that crashes mid-propose can keep one
+// instance unresolved forever; that bounded damage is the whole point.
+// Safe for concurrent use.
+type SafeAgreement struct {
+	sa *bg.SafeAgreement
+}
+
+// NewSafeAgreement creates a safe agreement instance for n processes
+// (1-based indices).
+func NewSafeAgreement(n int) *SafeAgreement {
+	return &SafeAgreement{sa: bg.New(n)}
+}
+
+// Propose submits process i's value (each process proposes at most
+// once). Wait-free.
+func (s *SafeAgreement) Propose(i int, v Value) error {
+	return s.sa.Propose(i, v)
+}
+
+// Resolve returns the agreed value; ok is false while some process is
+// inside the doorway or no propose has completed.
+func (s *SafeAgreement) Resolve() (v Value, ok bool) {
+	return s.sa.Resolve()
+}
+
+// KSetAgreement is the classic (k-1)-resilient k-set agreement protocol
+// built from k safe agreement instances (the standard BG application):
+// every decision is a proposed input, at most k distinct values are
+// decided, and every correct process decides as long as at most k-1
+// processes crash. Safe for concurrent use.
+type KSetAgreement struct {
+	p *bg.KSetFromSafeAgreement
+}
+
+// NewKSetAgreement creates the protocol object for procs processes with
+// agreement bound k.
+func NewKSetAgreement(k, procs int) *KSetAgreement {
+	return &KSetAgreement{p: bg.NewKSet(k, procs)}
+}
+
+// Propose runs process i's protocol to completion and returns its
+// decision. maxSpins bounds the wait for a resolution (0 = unbounded,
+// the theoretical protocol); ok is false if the bound expired, which
+// can only happen when k or more processes crashed inside doorways.
+func (s *KSetAgreement) Propose(i int, input Value, maxSpins int) (v Value, ok bool, err error) {
+	return s.p.Propose(i, input, maxSpins)
+}

@@ -1,0 +1,219 @@
+// Command dacsim runs the paper's Algorithm 2 (solving the n-DAC
+// problem from a single n-PAC object, §4).
+//
+// Two modes:
+//
+//	-mode live   n goroutines against a linearizable n-PAC object
+//	             (the Go scheduler is the adversary);
+//	-mode sim    the deterministic simulator under a seeded random
+//	             schedule, optionally crashing processes.
+//
+// Usage:
+//
+//	dacsim [-n 5] [-p 1] [-inputs 1,0,0,0,0] [-mode live|sim]
+//	       [-trials 100] [-seed 42] [-crash proc:step,...] [-v]
+//
+// Every run's outcome is validated against the n-DAC Agreement,
+// Validity, and Nontriviality properties; the command exits nonzero if
+// any run violates them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"setagree"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dacsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 5, "number of processes")
+	p := fs.Int("p", 1, "distinguished process (1-based)")
+	inputsFlag := fs.String("inputs", "", "comma-separated binary inputs (default: 1 for p, 0 elsewhere)")
+	mode := fs.String("mode", "live", "live (goroutines) or sim (seeded scheduler)")
+	trials := fs.Int("trials", 100, "number of runs")
+	seed := fs.Uint64("seed", 42, "base seed for -mode sim")
+	crashFlag := fs.String("crash", "", "crash plan for -mode sim, e.g. 1:3,2:10 (proc:step)")
+	verbose := fs.Bool("v", false, "print each run's outcome")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n < 2 || *p < 1 || *p > *n {
+		fmt.Fprintln(stderr, "dacsim: need n >= 2 and 1 <= p <= n")
+		return 2
+	}
+	inputs, err := parseInputs(*inputsFlag, *n, *p)
+	if err != nil {
+		fmt.Fprintf(stderr, "dacsim: %v\n", err)
+		return 2
+	}
+	crash, err := parseCrash(*crashFlag, *n)
+	if err != nil {
+		fmt.Fprintf(stderr, "dacsim: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "%d-DAC via Algorithm 2: p=%d inputs=%v mode=%s trials=%d\n",
+		*n, *p, inputs, *mode, *trials)
+
+	aborts, decide0, decide1, attempts := 0, 0, 0, 0
+	for trial := 0; trial < *trials; trial++ {
+		switch *mode {
+		case "live":
+			results, err := setagree.RunDAC(*n, *p, inputs, 0)
+			if err != nil {
+				fmt.Fprintf(stderr, "dacsim: trial %d: %v\n", trial, err)
+				return 1
+			}
+			if err := setagree.CheckDACOutcome(inputs, results, *p); err != nil {
+				fmt.Fprintf(stderr, "dacsim: trial %d VIOLATION: %v\n", trial, err)
+				return 1
+			}
+			for q, r := range results {
+				attempts += r.Attempts
+				if r.Aborted {
+					aborts++
+				} else if q+1 != *p || !r.Aborted {
+					if r.Decision == 0 {
+						decide0++
+					} else {
+						decide1++
+					}
+				}
+			}
+			if *verbose {
+				fmt.Fprintf(stdout, "  trial %3d: %s\n", trial, renderLive(results))
+			}
+		case "sim":
+			prot := programs.Algorithm2(*n, *p)
+			sys, err := prot.System(inputs)
+			if err != nil {
+				fmt.Fprintf(stderr, "dacsim: %v\n", err)
+				return 2
+			}
+			res, err := sim.Run(sys, task.DAC{N: *n, P: *p - 1}, sim.Random(*seed+uint64(trial)),
+				sim.Options{MaxSteps: 1 << 14, CrashAt: crash})
+			if err != nil {
+				fmt.Fprintf(stderr, "dacsim: trial %d: %v\n", trial, err)
+				return 1
+			}
+			if res.Violation != nil {
+				fmt.Fprintf(stderr, "dacsim: trial %d VIOLATION: %v\n", trial, res.Violation)
+				return 1
+			}
+			for q := range res.Outcome.Decided {
+				if res.Outcome.Aborted[q] {
+					aborts++
+				} else if res.Outcome.Decided[q] {
+					if res.Outcome.Decisions[q] == 0 {
+						decide0++
+					} else {
+						decide1++
+					}
+				}
+			}
+			if *verbose {
+				fmt.Fprintf(stdout, "  trial %3d: steps=%d %s\n", trial, res.Steps, renderSim(res))
+			}
+		default:
+			fmt.Fprintf(stderr, "dacsim: unknown mode %q\n", *mode)
+			return 2
+		}
+	}
+	fmt.Fprintf(stdout, "all %d trials satisfied Agreement, Validity, and Nontriviality\n", *trials)
+	fmt.Fprintf(stdout, "decisions: %d x 0, %d x 1; p aborted in %d trials", decide0, decide1, aborts)
+	if *mode == "live" {
+		fmt.Fprintf(stdout, "; total propose/decide rounds: %d", attempts)
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+func renderLive(results []setagree.DACResult) string {
+	var b strings.Builder
+	for q, r := range results {
+		if q > 0 {
+			b.WriteByte(' ')
+		}
+		if r.Aborted {
+			fmt.Fprintf(&b, "p%d:abort", q+1)
+		} else {
+			fmt.Fprintf(&b, "p%d:%s", q+1, r.Decision)
+		}
+	}
+	return b.String()
+}
+
+func renderSim(res *sim.Result) string {
+	var b strings.Builder
+	for q := range res.Outcome.Decided {
+		if q > 0 {
+			b.WriteByte(' ')
+		}
+		switch {
+		case res.Outcome.Aborted[q]:
+			fmt.Fprintf(&b, "p%d:abort", q+1)
+		case res.Outcome.Decided[q]:
+			fmt.Fprintf(&b, "p%d:%s", q+1, res.Outcome.Decisions[q])
+		default:
+			fmt.Fprintf(&b, "p%d:-", q+1)
+		}
+	}
+	return b.String()
+}
+
+func parseInputs(s string, n, p int) ([]value.Value, error) {
+	inputs := make([]value.Value, n)
+	if s == "" {
+		inputs[p-1] = 1 // the proofs' canonical initial configuration I
+		return inputs, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("%d inputs for %d processes", len(parts), n)
+	}
+	for i, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || (v != 0 && v != 1) {
+			return nil, fmt.Errorf("input %q is not binary", part)
+		}
+		inputs[i] = value.Value(v)
+	}
+	return inputs, nil
+}
+
+func parseCrash(s string, n int) (map[int]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[int]int)
+	for _, part := range strings.Split(s, ",") {
+		proc, step, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("crash entry %q: want proc:step", part)
+		}
+		pi, err := strconv.Atoi(proc)
+		if err != nil || pi < 1 || pi > n {
+			return nil, fmt.Errorf("crash process %q out of range", proc)
+		}
+		si, err := strconv.Atoi(step)
+		if err != nil || si < 0 {
+			return nil, fmt.Errorf("crash step %q invalid", step)
+		}
+		out[pi-1] = si
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLiveMode(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "3", "-p", "1", "-trials", "5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "all 5 trials satisfied") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestSimMode(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "4", "-mode", "sim", "-trials", "10", "-seed", "9", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "trial   0: steps=") {
+		t.Errorf("verbose output missing: %s", out.String())
+	}
+}
+
+func TestSimModeWithCrash(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "3", "-mode", "sim", "-trials", "5", "-crash", "1:2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+}
+
+func TestExplicitInputs(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "2", "-inputs", "1,1", "-trials", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	// With unanimous input 1, every decision is 1 (Validity).
+	if !strings.Contains(out.String(), "0 x 0,") {
+		t.Errorf("expected no 0-decisions: %s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	t.Parallel()
+	cases := [][]string{
+		{"-n", "1"},
+		{"-n", "3", "-p", "4"},
+		{"-n", "3", "-inputs", "1,0"},
+		{"-n", "3", "-inputs", "1,0,7"},
+		{"-n", "3", "-mode", "warp"},
+		{"-n", "3", "-mode", "sim", "-crash", "zap"},
+		{"-n", "3", "-mode", "sim", "-crash", "9:1"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

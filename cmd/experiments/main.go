@@ -1,0 +1,327 @@
+// Command experiments runs the reproduction's theorem-by-theorem
+// experiment suite (the model-checked rows of EXPERIMENTS.md) in one
+// shot and prints a verdict table: every positive claim is verified
+// exhaustively on its small instances, and every impossibility claim's
+// bounded-family falsification reports zero solvers.
+//
+// Usage:
+//
+//	experiments [-quick] [-v]
+//
+// -quick trims the heavier rows (depth-2 sweeps, n >= 5 state spaces).
+// Exit status 0 iff every experiment matches the paper's claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"setagree/internal/core"
+	"setagree/internal/enumerate"
+	"setagree/internal/explore"
+	"setagree/internal/objects"
+	"setagree/internal/programs"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// row is one experiment outcome.
+type row struct {
+	id       string
+	claim    string
+	instance string
+	detail   string
+	ok       bool
+	elapsed  time.Duration
+}
+
+type runner struct {
+	rows    []row
+	quick   bool
+	verbose bool
+	out     io.Writer
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "trim the heavier experiments")
+	verbose := fs.Bool("v", false, "print each row as it finishes")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	r := &runner{quick: *quick, verbose: *verbose, out: stdout}
+
+	r.e2Algorithm2()
+	r.e3Falsification()
+	r.e5PACMLevel()
+	r.e7SamePower()
+	r.e8Theorem71()
+	r.e10Hierarchy()
+	r.e11Valency()
+	r.e13Chaudhuri()
+
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "%-4s %-7s %-52s %-30s %s\n", "id", "verdict", "claim", "instance", "detail")
+	allOK := true
+	var total time.Duration
+	for _, row := range r.rows {
+		verdict := "MATCH"
+		if !row.ok {
+			verdict = "FAIL"
+			allOK = false
+		}
+		fmt.Fprintf(stdout, "%-4s %-7s %-52s %-30s %s\n", row.id, verdict, row.claim, row.instance, row.detail)
+		total += row.elapsed
+	}
+	fmt.Fprintf(stdout, "\n%d experiments in %s\n", len(r.rows), total.Round(time.Millisecond))
+	if !allOK {
+		fmt.Fprintln(stderr, "experiments: some rows FAILED")
+		return 1
+	}
+	fmt.Fprintln(stdout, "every experiment matches the paper's claim")
+	return 0
+}
+
+func (r *runner) add(id, claim, instance string, ok bool, detail string, elapsed time.Duration) {
+	r.rows = append(r.rows, row{id: id, claim: claim, instance: instance, ok: ok, detail: detail, elapsed: elapsed})
+	if r.verbose {
+		fmt.Fprintf(r.out, "[%s] %s — %s: ok=%v (%s; %s)\n", id, claim, instance, ok, detail, elapsed.Round(time.Millisecond))
+	}
+}
+
+// checkSolved model-checks a protocol and reports solved + state count.
+func checkSolved(prot programs.Protocol, tsk task.Task, inputs []value.Value, opts explore.Options) (bool, string, error) {
+	sys, err := prot.System(inputs)
+	if err != nil {
+		return false, "", err
+	}
+	rep, err := explore.Check(sys, tsk, opts)
+	if err != nil {
+		return false, "", err
+	}
+	detail := fmt.Sprintf("%d configs", rep.States)
+	if !rep.Solved() {
+		detail += "; " + rep.Violations[0].Error()
+	}
+	return rep.Solved(), detail, nil
+}
+
+func distinct(n int) []value.Value {
+	out := make([]value.Value, n)
+	for i := range out {
+		out[i] = value.Value(10 + i)
+	}
+	return out
+}
+
+func canonical(n int) []value.Value {
+	out := make([]value.Value, n)
+	out[0] = 1
+	return out
+}
+
+// e2Algorithm2: Theorem 4.1 exhaustively across sizes.
+func (r *runner) e2Algorithm2() {
+	maxN := 5
+	if r.quick {
+		maxN = 4
+	}
+	for n := 2; n <= maxN; n++ {
+		start := time.Now()
+		ok, detail, err := checkSolved(programs.Algorithm2(n, 1), task.DAC{N: n, P: 0}, canonical(n), explore.Options{})
+		if err != nil {
+			detail = err.Error()
+			ok = false
+		}
+		r.add("E2", "Thm 4.1: Algorithm 2 solves n-DAC", fmt.Sprintf("n=%d, every schedule", n), ok, detail, time.Since(start))
+	}
+}
+
+// e3Falsification: Theorem 4.2's bounded-family sweep.
+func (r *runner) e3Falsification() {
+	fam := &enumerate.Family{
+		Objects: []spec.Spec{objects.NewConsensus(2), objects.NewRegister(), objects.NewTwoSA()},
+		Menu: []enumerate.Invoke{
+			{Obj: 0, Method: value.MethodPropose, Arg: enumerate.ArgInput},
+			{Obj: 1, Method: value.MethodWrite, Arg: enumerate.ArgInput},
+			{Obj: 1, Method: value.MethodRead},
+			{Obj: 2, Method: value.MethodPropose, Arg: enumerate.ArgInput},
+		},
+		Depth: 1,
+		Actions: []enumerate.Action{
+			enumerate.ActDecideInput, enumerate.ActDecideLast, enumerate.ActDecideFirst,
+			enumerate.ActDecideZero, enumerate.ActDecideOne, enumerate.ActRetry,
+		},
+	}
+	var vectors [][]value.Value
+	for mask := 0; mask < 8; mask++ {
+		in := make([]value.Value, 3)
+		for i := range in {
+			if mask&(1<<uint(i)) != 0 {
+				in[i] = 1
+			}
+		}
+		vectors = append(vectors, in)
+	}
+	depths := []int{1}
+	if !r.quick {
+		depths = append(depths, 2)
+	}
+	for _, d := range depths {
+		fam.Depth = d
+		start := time.Now()
+		rep, err := enumerate.FalsifyDAC(fam, 3, vectors, enumerate.SweepOptions{})
+		ok := err == nil && len(rep.Solvers) == 0 && rep.Candidates > 0
+		detail := ""
+		if err != nil {
+			detail = err.Error()
+		} else {
+			detail = fmt.Sprintf("%d candidates, 0 solvers", rep.Candidates)
+		}
+		r.add("E3", "Thm 4.2: no 3-DAC from {2-cons, reg, 2-SA}",
+			fmt.Sprintf("depth-%d family", d), ok, detail, time.Since(start))
+	}
+}
+
+// e5PACMLevel: Theorem 5.3's positive half.
+func (r *runner) e5PACMLevel() {
+	for _, m := range []int{2, 3} {
+		start := time.Now()
+		ok, detail, err := checkSolved(programs.ConsensusFromPACM(m+1, m, m),
+			task.Consensus{N: m}, distinct(m), explore.Options{})
+		if err != nil {
+			detail = err.Error()
+			ok = false
+		}
+		r.add("E5", "Thm 5.3: (n,m)-PAC solves m-consensus", fmt.Sprintf("m=%d", m), ok, detail, time.Since(start))
+	}
+}
+
+// e7SamePower: Corollary 6.6's positive halves (n = 2, k = 1..2).
+func (r *runner) e7SamePower() {
+	const n = 2
+	for k := 1; k <= 2; k++ {
+		procs := k * n
+		tsk := task.KSetAgreement{N: procs, K: k}
+		variants := []struct {
+			label string
+			prot  programs.Protocol
+		}{
+			{"O'_2 (abstract)", programs.KSetFromOPrime(core.NewOPrime(n, nil), k, procs)},
+			{"O'_2 per Lemma 6.4", programs.KSetFromOPrimeBase(n, k, procs)},
+		}
+		if k == 1 {
+			variants = append(variants, struct {
+				label string
+				prot  programs.Protocol
+			}{"O_2 consensus face", programs.ConsensusFromPACM(n+1, n, procs)})
+		} else {
+			variants = append(variants, struct {
+				label string
+				prot  programs.Protocol
+			}{"O_2 partition", programs.PartitionObjectO(k, n)})
+		}
+		for _, v := range variants {
+			start := time.Now()
+			ok, detail, err := checkSolved(v.prot, tsk, distinct(procs), explore.Options{})
+			if err != nil {
+				detail = err.Error()
+				ok = false
+			}
+			r.add("E7", "Cor 6.6: O_n and O'_n share their tasks",
+				fmt.Sprintf("k=%d via %s", k, v.label), ok, detail, time.Since(start))
+		}
+	}
+}
+
+// e8Theorem71: Observation 5.1(b) route — (n,m)-PAC solves n-DAC.
+func (r *runner) e8Theorem71() {
+	start := time.Now()
+	ok, detail, err := checkSolved(programs.Algorithm2ViaPACM(3, 2, 1),
+		task.DAC{N: 3, P: 0}, canonical(3), explore.Options{})
+	if err != nil {
+		detail = err.Error()
+		ok = false
+	}
+	r.add("E8", "Thm 7.1 (+): (4,2)-PAC face solves 3-DAC", "n=3, m=2", ok, detail, time.Since(start))
+}
+
+// e10Hierarchy: partition lower bounds and classic level-2 protocols.
+func (r *runner) e10Hierarchy() {
+	start := time.Now()
+	ok, detail, err := checkSolved(programs.Partition(2, 2),
+		task.KSetAgreement{N: 4, K: 2}, distinct(4), explore.Options{})
+	if err != nil {
+		detail = err.Error()
+		ok = false
+	}
+	r.add("E10", "CR formula (+): k groups give (km,k)-SA", "k=2, m=2", ok, detail, time.Since(start))
+
+	start = time.Now()
+	ok, detail, err = checkSolved(programs.ConsensusFromQueue(),
+		task.Consensus{N: 2}, []value.Value{3, 4}, explore.Options{})
+	if err != nil {
+		detail = err.Error()
+		ok = false
+	}
+	r.add("E10", "Herlihy: queue is at level >= 2", "one-token queue", ok, detail, time.Since(start))
+}
+
+// e11Valency: the proof-technique artifacts.
+func (r *runner) e11Valency() {
+	start := time.Now()
+	prot := programs.Algorithm2(3, 1)
+	sys, err := prot.System(canonical(3))
+	if err != nil {
+		r.add("E11", "Claims 4.2.4-7: valency structure", "n=3", false, err.Error(), time.Since(start))
+		return
+	}
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{Valency: true})
+	if err != nil {
+		r.add("E11", "Claims 4.2.4-7: valency structure", "n=3", false, err.Error(), time.Since(start))
+		return
+	}
+	v := rep.Valency
+	ok := v.Initial.Bivalent() && v.CriticalCount > 0 && v.CriticalSameObject == v.CriticalCount
+	detail := fmt.Sprintf("initial %s; %d critical, %d single-object",
+		v.Initial, v.CriticalCount, v.CriticalSameObject)
+	adv, advErr := rep.Adversary()
+	if advErr != nil || !adv.KeepsBivalentForever() {
+		ok = false
+		detail += "; adversary failed to stay bivalent"
+	} else {
+		detail += fmt.Sprintf("; adversary cycles after %d steps", len(adv.Schedule))
+	}
+	r.add("E11", "Claims 4.2.4-7: valency structure", "Algorithm 2, n=3", ok, detail, time.Since(start))
+}
+
+// e13Chaudhuri: the resilience boundary.
+func (r *runner) e13Chaudhuri() {
+	const n, k = 3, 2
+	start := time.Now()
+	ok, detail, err := checkSolved(programs.ChaudhuriKSet(n, k),
+		task.ResilientKSet{N: n, K: k, F: k - 1}, distinct(n), explore.Options{})
+	if err != nil {
+		detail = err.Error()
+		ok = false
+	}
+	r.add("E13", "Chaudhuri (+): f=k-1 resilient k-SA from registers", "n=3, k=2, f=1", ok, detail, time.Since(start))
+
+	start = time.Now()
+	solved, detail2, err := checkSolved(programs.ChaudhuriKSet(n, k),
+		task.ResilientKSet{N: n, K: k, F: k}, distinct(n), explore.Options{})
+	ok = err == nil && !solved // the refutation is the expected result
+	if err != nil {
+		detail2 = err.Error()
+	}
+	r.add("E13", "BG/HS/SZ (-): not f=k resilient", "n=3, k=2, f=2", ok, detail2, time.Since(start))
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickSuiteAllMatch(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	s := out.String()
+	if strings.Contains(s, "FAIL") {
+		t.Fatalf("a row failed:\n%s", s)
+	}
+	for _, want := range []string{
+		"every experiment matches",
+		"Thm 4.1", "Thm 4.2", "Thm 5.3", "Cor 6.6", "Thm 7.1",
+		"Chaudhuri", "valency structure",
+		"O'_2 per Lemma 6.4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestVerboseFlag(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "[E2]") {
+		t.Error("verbose per-row lines missing")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-zap"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

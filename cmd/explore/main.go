@@ -1,0 +1,371 @@
+// Command explore model-checks a protocol exhaustively over every
+// schedule and every nondeterministic object response, mechanizing the
+// bivalency technique of the paper's proofs (§§4–5): it reports safety
+// and termination verdicts with concrete witness schedules, and with
+// -valency it labels configurations bivalent/univalent, counts critical
+// configurations, and checks the "all processes poised on one object"
+// structure (Claims 4.2.7, 5.2.3).
+//
+// Usage:
+//
+//	explore -protocol alg2 -n 3 -p 1 [-inputs 1,0,0] [-valency] [-witness]
+//	explore -protocol consensus-pacm -n 3 -m 2
+//	explore -protocol partition -k 2 -m 2
+//	explore -protocol naive-2sa -procs 2
+//	explore -protocol oversub -m 2
+//	explore -protocol dac-attempt -n 2 -p 1
+//	explore -asm prog.s -objects consensus:2,register -task consensus -procs 2
+//
+// Named protocols: alg2, alg2-upset, alg2-pacm, consensus-pacm,
+// consensus-direct, consensus-queue, consensus-tas, partition,
+// partition-on, kset-sa, kset-oprime, kset-oprime-base, chaudhuri,
+// naive-2sa, oversub, dac-attempt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"setagree/cmd/internal/specname"
+	"setagree/internal/core"
+	"setagree/internal/explore"
+	"setagree/internal/machine"
+	"setagree/internal/programs"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type config struct {
+	protocol  string
+	asm       string
+	objects   string
+	taskName  string
+	inputsRaw string
+	n, m, k   int
+	p, procs  int
+	valency   bool
+	adversary bool
+	witness   bool
+	annotate  bool
+	maxStates int
+	dotFile   string
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c config
+	fs.StringVar(&c.protocol, "protocol", "", "named protocol (see doc)")
+	fs.StringVar(&c.asm, "asm", "", "assembly file: one symmetric program for all processes")
+	fs.StringVar(&c.objects, "objects", "", "object list for -asm, e.g. consensus:2,register,2sa")
+	fs.StringVar(&c.taskName, "task", "", "task for -asm: consensus | kset:K | dac")
+	fs.StringVar(&c.inputsRaw, "inputs", "", "comma-separated inputs (default: task-appropriate)")
+	fs.IntVar(&c.n, "n", 3, "n parameter (processes / PAC labels)")
+	fs.IntVar(&c.m, "m", 2, "m parameter (consensus width)")
+	fs.IntVar(&c.k, "k", 2, "k parameter (agreement bound)")
+	fs.IntVar(&c.p, "p", 1, "distinguished process (1-based, DAC protocols)")
+	fs.IntVar(&c.procs, "procs", 0, "process count override")
+	fs.BoolVar(&c.valency, "valency", false, "compute valence labels and critical configurations")
+	fs.BoolVar(&c.adversary, "adversary", false, "run the bivalence-preserving adversary (implies -valency)")
+	fs.StringVar(&c.dotFile, "dot", "", "write the configuration graph (Graphviz DOT) to this file")
+	fs.BoolVar(&c.annotate, "annotate", false, "replay witnesses with object-state annotations (implies -witness)")
+	fs.BoolVar(&c.witness, "witness", false, "print full witness schedules")
+	fs.IntVar(&c.maxStates, "max-states", 1<<21, "state cap")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	prot, tsk, inputs, err := buildInstance(&c)
+	if err != nil {
+		fmt.Fprintf(stderr, "explore: %v\n", err)
+		return 2
+	}
+	sys, err := prot.System(inputs)
+	if err != nil {
+		fmt.Fprintf(stderr, "explore: %v\n", err)
+		return 2
+	}
+
+	if c.adversary {
+		c.valency = true
+	}
+	fmt.Fprintf(stdout, "protocol: %s\n", prot.Name)
+	fmt.Fprintf(stdout, "task:     %s, inputs %v\n", tsk.Name(), inputs)
+	rep, err := explore.Check(sys, tsk, explore.Options{Valency: c.valency, MaxStates: c.maxStates})
+	if err != nil {
+		fmt.Fprintf(stderr, "explore: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "explored: %d configurations, %d transitions, %d quiescent\n",
+		rep.States, rep.Transitions, rep.Quiescent)
+
+	if rep.Solved() {
+		fmt.Fprintln(stdout, "verdict:  SOLVED — all safety and termination properties hold on every schedule")
+	} else {
+		fmt.Fprintf(stdout, "verdict:  REFUTED — %d violation(s)\n", len(rep.Violations))
+		for i, v := range rep.Violations {
+			fmt.Fprintf(stdout, "  [%d] %s\n", i+1, v.Error())
+			if c.annotate {
+				fresh, err := prot.System(inputs)
+				if err != nil {
+					fmt.Fprintf(stderr, "explore: %v\n", err)
+					return 2
+				}
+				full := append(append([]explore.Step(nil), v.Witness...), v.Cycle...)
+				if err := explore.AnnotateSchedule(stdout, fresh, full); err != nil {
+					fmt.Fprintf(stderr, "explore: annotate: %v\n", err)
+					return 2
+				}
+				continue
+			}
+			if c.witness {
+				for _, s := range v.Witness {
+					fmt.Fprintf(stdout, "        %s\n", s)
+				}
+				if len(v.Cycle) > 0 {
+					fmt.Fprintln(stdout, "      cycle (repeats forever):")
+					for _, s := range v.Cycle {
+						fmt.Fprintf(stdout, "        %s\n", s)
+					}
+				}
+			} else {
+				fmt.Fprintf(stdout, "      witness: %d steps", len(v.Witness))
+				if len(v.Cycle) > 0 {
+					fmt.Fprintf(stdout, " + %d-step cycle", len(v.Cycle))
+				}
+				fmt.Fprintln(stdout, "  (-witness to print)")
+			}
+		}
+	}
+
+	if rep.Valency != nil {
+		v := rep.Valency
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "valency:  initial configuration is %s\n", v.Initial)
+		fmt.Fprintf(stdout, "          %d bivalent, %d 0-valent, %d 1-valent, %d null-valent\n",
+			v.Bivalent, v.Univalent0, v.Univalent1, v.Null)
+		fmt.Fprintf(stdout, "critical: %d critical configuration(s); %d with every process poised on one object\n",
+			v.CriticalCount, v.CriticalSameObject)
+		for i, cc := range v.Critical {
+			if i >= 4 && !c.witness {
+				fmt.Fprintf(stdout, "          ... (%d more)\n", len(v.Critical)-i)
+				break
+			}
+			obj := "mixed objects"
+			if cc.SameObject {
+				obj = "all poised on " + cc.ObjectName
+			}
+			fmt.Fprintf(stdout, "  config #%d after %d steps: %s\n", cc.ID, len(cc.Schedule), obj)
+		}
+	}
+	if c.adversary {
+		adv, err := rep.Adversary()
+		if err != nil {
+			fmt.Fprintf(stderr, "explore: adversary: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout)
+		if adv.KeepsBivalentForever() {
+			fmt.Fprintf(stdout, "adversary: the protocol can be kept BIVALENT FOREVER — after %d steps, repeat:\n",
+				len(adv.Schedule))
+			for _, s := range adv.Cycle {
+				fmt.Fprintf(stdout, "  %s\n", s)
+			}
+		} else {
+			fmt.Fprintf(stdout, "adversary: forced to a critical configuration (id %d) after %d steps\n",
+				adv.CriticalID, len(adv.Schedule))
+			if c.witness {
+				for _, s := range adv.Schedule {
+					fmt.Fprintf(stdout, "  %s\n", s)
+				}
+			}
+		}
+	}
+	if c.dotFile != "" {
+		f, err := os.Create(c.dotFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "explore: %v\n", err)
+			return 2
+		}
+		writeErr := rep.WriteDOT(f, 512)
+		if closeErr := f.Close(); writeErr == nil {
+			writeErr = closeErr
+		}
+		if writeErr != nil {
+			fmt.Fprintf(stderr, "explore: %v\n", writeErr)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote configuration graph to %s\n", c.dotFile)
+	}
+	if rep.Solved() {
+		return 0
+	}
+	return 1
+}
+
+func buildInstance(c *config) (programs.Protocol, task.Task, []value.Value, error) {
+	if c.asm != "" {
+		return buildAsm(c)
+	}
+	var (
+		prot programs.Protocol
+		tsk  task.Task
+	)
+	switch c.protocol {
+	case "alg2":
+		prot, tsk = programs.Algorithm2(c.n, c.p), task.DAC{N: c.n, P: c.p - 1}
+	case "alg2-upset":
+		prot, tsk = programs.UpsettingAlgorithm2(c.n, c.p), task.DAC{N: c.n, P: c.p - 1}
+	case "consensus-pacm":
+		procs := orDefault(c.procs, c.m)
+		prot, tsk = programs.ConsensusFromPACM(c.n, c.m, procs), task.Consensus{N: procs}
+	case "consensus-direct":
+		procs := orDefault(c.procs, c.m)
+		prot, tsk = programs.ConsensusFromObject(c.m, procs), task.Consensus{N: procs}
+	case "partition":
+		prot, tsk = programs.Partition(c.k, c.m), task.KSetAgreement{N: c.k * c.m, K: c.k}
+	case "partition-on":
+		prot, tsk = programs.PartitionObjectO(c.k, c.n), task.KSetAgreement{N: c.k * c.n, K: c.k}
+	case "kset-sa":
+		procs := orDefault(c.procs, c.n)
+		prot, tsk = programs.KSetFromSA(c.n, c.k, procs), task.KSetAgreement{N: procs, K: c.k}
+	case "kset-oprime":
+		procs := orDefault(c.procs, c.k*c.n)
+		prot = programs.KSetFromOPrime(core.NewOPrime(c.n, nil), c.k, procs)
+		tsk = task.KSetAgreement{N: procs, K: c.k}
+	case "kset-oprime-base":
+		procs := orDefault(c.procs, c.k*c.n)
+		prot, tsk = programs.KSetFromOPrimeBase(c.n, c.k, procs), task.KSetAgreement{N: procs, K: c.k}
+	case "naive-2sa":
+		procs := orDefault(c.procs, 2)
+		prot, tsk = programs.NaiveTwoSAConsensus(procs), task.Consensus{N: procs}
+	case "oversub":
+		prot, tsk = programs.OverSubscribedConsensus(c.m), task.Consensus{N: c.m + 1}
+	case "dac-attempt":
+		prot, tsk = programs.DACFromConsensusAndTwoSA(c.n, c.p), task.DAC{N: c.n + 1, P: c.p - 1}
+	case "chaudhuri":
+		prot = programs.ChaudhuriKSet(c.n, c.k)
+		tsk = task.ResilientKSet{N: c.n, K: c.k, F: c.k - 1}
+	case "alg2-pacm":
+		prot, tsk = programs.Algorithm2ViaPACM(c.n, c.m, c.p), task.DAC{N: c.n, P: c.p - 1}
+	case "consensus-queue":
+		prot, tsk = programs.ConsensusFromQueue(), task.Consensus{N: 2}
+	case "consensus-tas":
+		prot, tsk = programs.ConsensusFromTAS(), task.Consensus{N: 2}
+	case "":
+		return programs.Protocol{}, nil, nil, fmt.Errorf("-protocol or -asm is required")
+	default:
+		return programs.Protocol{}, nil, nil, fmt.Errorf("unknown protocol %q", c.protocol)
+	}
+	inputs, err := parseInputs(c.inputsRaw, prot.Procs(), tsk)
+	if err != nil {
+		return programs.Protocol{}, nil, nil, err
+	}
+	return prot, tsk, inputs, nil
+}
+
+func buildAsm(c *config) (programs.Protocol, task.Task, []value.Value, error) {
+	if c.objects == "" || c.taskName == "" || c.procs == 0 {
+		return programs.Protocol{}, nil, nil, fmt.Errorf("-asm needs -objects, -task, and -procs")
+	}
+	src, err := os.ReadFile(c.asm)
+	if err != nil {
+		return programs.Protocol{}, nil, nil, err
+	}
+	prog, err := machine.Parse(c.asm, string(src), 16)
+	if err != nil {
+		return programs.Protocol{}, nil, nil, err
+	}
+	var objs []spec.Spec
+	for _, name := range strings.Split(c.objects, ",") {
+		sp, err := specname.Parse(strings.TrimSpace(name))
+		if err != nil {
+			return programs.Protocol{}, nil, nil, err
+		}
+		objs = append(objs, sp)
+	}
+	progs := make([]*machine.Program, c.procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	prot := programs.Protocol{Name: "asm:" + c.asm, Programs: progs, Objects: objs}
+
+	var tsk task.Task
+	switch {
+	case c.taskName == "consensus":
+		tsk = task.Consensus{N: c.procs}
+	case c.taskName == "dac":
+		tsk = task.DAC{N: c.procs, P: c.p - 1}
+	case strings.HasPrefix(c.taskName, "kset:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(c.taskName, "kset:"))
+		if err != nil {
+			return programs.Protocol{}, nil, nil, fmt.Errorf("bad task %q", c.taskName)
+		}
+		tsk = task.KSetAgreement{N: c.procs, K: k}
+	default:
+		return programs.Protocol{}, nil, nil, fmt.Errorf("unknown task %q", c.taskName)
+	}
+	inputs, err := parseInputs(c.inputsRaw, c.procs, tsk)
+	if err != nil {
+		return programs.Protocol{}, nil, nil, err
+	}
+	return prot, tsk, inputs, nil
+}
+
+// parseInputs parses "-inputs", defaulting to the proofs' canonical
+// vectors: 1 for the distinguished/first process, 0 elsewhere for
+// binary tasks; distinct values for k-set agreement.
+func parseInputs(raw string, procs int, tsk task.Task) ([]value.Value, error) {
+	if raw != "" {
+		parts := strings.Split(raw, ",")
+		if len(parts) != procs {
+			return nil, fmt.Errorf("%d inputs for %d processes", len(parts), procs)
+		}
+		out := make([]value.Value, procs)
+		for i, part := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad input %q", part)
+			}
+			out[i] = value.Value(v)
+		}
+		return out, nil
+	}
+	out := make([]value.Value, procs)
+	wantDistinct := false
+	if kt, ok := tsk.(task.KSetAgreement); ok && kt.K >= 2 {
+		wantDistinct = true
+	}
+	if rt, ok := tsk.(task.ResilientKSet); ok && rt.K >= 2 {
+		wantDistinct = true
+	}
+	if wantDistinct {
+		for i := range out {
+			out[i] = value.Value(10 + i)
+		}
+		return out, nil
+	}
+	d := 0
+	if dt, ok := tsk.(task.DAC); ok {
+		d = dt.P
+	}
+	out[d] = 1
+	return out, nil
+}
+
+// orDefault returns v if nonzero, else fallback.
+func orDefault(v, fallback int) int {
+	if v != 0 {
+		return v
+	}
+	return fallback
+}

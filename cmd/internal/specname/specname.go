@@ -1,0 +1,91 @@
+// Package specname resolves textual object-spec names shared by the
+// command-line tools (cmd/lincheck, cmd/explore).
+package specname
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"setagree/internal/core"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+)
+
+// Parse resolves a spec name:
+//
+//	register | consensus:N | sa:N:K | 2sa | pac:N | pacm:N:M |
+//	oprime:N | oprime-base:N | queue | counter | tas | sticky
+func Parse(s string) (spec.Spec, error) {
+	parts := strings.Split(strings.ToLower(s), ":")
+	argInt := func(i int) (int, error) {
+		if len(parts) <= i {
+			return 0, fmt.Errorf("spec %q: missing parameter %d", s, i)
+		}
+		n, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return 0, fmt.Errorf("spec %q: bad parameter %q", s, parts[i])
+		}
+		return n, nil
+	}
+	switch parts[0] {
+	case "register":
+		return objects.NewRegister(), nil
+	case "consensus":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return objects.NewConsensus(n), nil
+	case "sa":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		k, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		return objects.NewSetAgreement(n, k), nil
+	case "2sa":
+		return objects.NewTwoSA(), nil
+	case "pac":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewPAC(n), nil
+	case "pacm":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewPACM(n, m), nil
+	case "oprime":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewOPrime(n, nil), nil
+	case "oprime-base":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewOPrimeFromBase(n), nil
+	case "queue":
+		return objects.NewQueue(), nil
+	case "counter":
+		return objects.NewCounter(), nil
+	case "tas":
+		return objects.NewTestAndSet(), nil
+	case "sticky":
+		return objects.Sticky(), nil
+	default:
+		return nil, fmt.Errorf("unknown spec %q", s)
+	}
+}

@@ -1,0 +1,45 @@
+package specname_test
+
+import (
+	"testing"
+
+	"setagree/cmd/internal/specname"
+)
+
+func TestParseKnownNames(t *testing.T) {
+	t.Parallel()
+	cases := map[string]string{
+		"register":      "register",
+		"consensus:3":   "3-consensus",
+		"sa:4:2":        "(4,2)-SA",
+		"2sa":           "2-SA",
+		"pac:3":         "3-PAC",
+		"pacm:3:2":      "(3,2)-PAC",
+		"oprime:2":      "O'_2",
+		"oprime-base:2": "O'_2-from-{2-consensus,2-SA}",
+		"queue":         "queue",
+		"counter":       "fetch&add",
+		"tas":           "test&set",
+		"sticky":        "1-SA",
+		"PAC:3":         "3-PAC", // case-insensitive
+	}
+	for in, want := range cases {
+		sp, err := specname.Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if sp.Name() != want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", in, sp.Name(), want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	t.Parallel()
+	for _, in := range []string{"", "warp", "consensus", "consensus:x", "sa:3", "pacm:2"} {
+		if _, err := specname.Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const goodHistory = `{
+  "events": [
+    {"proc": 1, "obj": 0, "method": 4, "arg": 5, "label": 1, "resp": -9223372036854775806, "inv": 1, "ret": 2},
+    {"proc": 1, "obj": 0, "method": 5, "arg": 0, "label": 1, "resp": 5, "inv": 3, "ret": 4}
+  ]
+}`
+
+const staleHistory = `{
+  "events": [
+    {"proc": 1, "obj": 0, "method": 2, "arg": 5, "label": 0, "resp": -9223372036854775806, "inv": 1, "ret": 2},
+    {"proc": 2, "obj": 0, "method": 1, "arg": 0, "label": 0, "resp": -9223372036854775808, "inv": 3, "ret": 4}
+  ]
+}`
+
+func TestLinearizablePAC(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-spec", "pac:2"}, strings.NewReader(goodHistory), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "linearizable w.r.t. 2-PAC") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestNotLinearizableRegister(t *testing.T) {
+	t.Parallel()
+	// A read strictly after a completed write returns NIL: not
+	// linearizable.
+	var out, errOut bytes.Buffer
+	code := run([]string{"-spec", "register"}, strings.NewReader(staleHistory), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "NOT linearizable") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	if code := run(nil, strings.NewReader(goodHistory), &out, &errOut); code != 2 {
+		t.Fatalf("missing -spec: exit %d", code)
+	}
+	if code := run([]string{"-spec", "warpdrive"}, strings.NewReader(goodHistory), &out, &errOut); code != 2 {
+		t.Fatalf("unknown spec: exit %d", code)
+	}
+	if code := run([]string{"-spec", "pac:2"}, strings.NewReader("{bad json"), &out, &errOut); code != 2 {
+		t.Fatalf("bad json: exit %d", code)
+	}
+	if code := run([]string{"-spec", "pac:2", "-obj", "7"}, strings.NewReader(goodHistory), &out, &errOut); code != 2 {
+		t.Fatalf("no matching object: exit %d", code)
+	}
+}

@@ -1,0 +1,142 @@
+package setagree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DAC-runner failure modes.
+var (
+	// ErrBadDAC reports malformed RunDAC parameters.
+	ErrBadDAC = errors.New("setagree: bad DAC parameters")
+)
+
+// DACResult is one process's outcome of an n-DAC execution.
+type DACResult struct {
+	// Decision is the decided value, or None if the process aborted.
+	Decision Value
+	// Aborted reports that the process aborted (distinguished process
+	// only).
+	Aborted bool
+	// Attempts counts propose/decide rounds the process performed.
+	Attempts int
+}
+
+// RunDAC solves the n-DAC problem (§4) among n goroutines with the
+// paper's Algorithm 2, using a single n-PAC object: process p (1-based)
+// is the distinguished process, which tries one propose/decide pair and
+// aborts on ⊥; every other process retries until its decide returns a
+// value. Inputs are binary. It returns each process's outcome.
+//
+// RunDAC demonstrates Theorem 4.1 live. Non-distinguished processes are
+// only guaranteed to decide in solo runs (Termination (b)); under the
+// Go scheduler the retry loop terminates with probability 1, and
+// maxAttempts (0 means unbounded) provides a hard stop for callers that
+// need one — hitting it returns an error rather than a fabricated
+// decision.
+func RunDAC(n, p int, inputs []Value, maxAttempts int) ([]DACResult, error) {
+	if n < 2 || p < 1 || p > n {
+		return nil, fmt.Errorf("n=%d p=%d: %w", n, p, ErrBadDAC)
+	}
+	if len(inputs) != n {
+		return nil, fmt.Errorf("%d inputs for %d processes: %w", len(inputs), n, ErrBadDAC)
+	}
+	for i, v := range inputs {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("input %d of process %d is not binary: %w", v, i+1, ErrBadDAC)
+		}
+	}
+
+	d := NewPAC(n)
+	results := make([]DACResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for q := 1; q <= n; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			if q == p {
+				results[q-1], errs[q-1] = dacDistinguished(d, inputs[q-1], q)
+			} else {
+				results[q-1], errs[q-1] = dacOther(d, inputs[q-1], q, maxAttempts)
+			}
+		}(q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// dacDistinguished is Algorithm 2 lines 1-5.
+func dacDistinguished(d *PAC, v Value, label int) (DACResult, error) {
+	if err := d.Propose(v, label); err != nil {
+		return DACResult{}, err
+	}
+	temp, err := d.Decide(label)
+	if err != nil {
+		return DACResult{}, err
+	}
+	if temp != Bottom {
+		return DACResult{Decision: temp, Attempts: 1}, nil
+	}
+	return DACResult{Decision: None, Aborted: true, Attempts: 1}, nil
+}
+
+// dacOther is Algorithm 2 lines 6-11.
+func dacOther(d *PAC, v Value, label, maxAttempts int) (DACResult, error) {
+	for attempt := 1; ; attempt++ {
+		if err := d.Propose(v, label); err != nil {
+			return DACResult{}, err
+		}
+		temp, err := d.Decide(label)
+		if err != nil {
+			return DACResult{}, err
+		}
+		if temp != Bottom {
+			return DACResult{Decision: temp, Attempts: attempt}, nil
+		}
+		if maxAttempts > 0 && attempt >= maxAttempts {
+			return DACResult{}, fmt.Errorf("process %d: no decision after %d attempts: %w",
+				label, attempt, ErrBadDAC)
+		}
+	}
+}
+
+// CheckDACOutcome validates an n-DAC outcome against the §4 properties
+// that are checkable from results alone (Agreement, Validity,
+// Nontriviality's abort-side is enforced by construction since only p
+// may abort in RunDAC). It is exported so examples and downstream users
+// can assert their runs.
+func CheckDACOutcome(inputs []Value, results []DACResult, p int) error {
+	decided := None
+	for i, r := range results {
+		if r.Aborted {
+			if i+1 != p {
+				return fmt.Errorf("process %d aborted but is not distinguished: %w", i+1, ErrBadDAC)
+			}
+			continue
+		}
+		if r.Decision != 0 && r.Decision != 1 {
+			return fmt.Errorf("process %d decided non-binary %s: %w", i+1, r.Decision, ErrBadDAC)
+		}
+		if decided == None {
+			decided = r.Decision
+		} else if decided != r.Decision {
+			return fmt.Errorf("agreement: %s vs %s: %w", decided, r.Decision, ErrBadDAC)
+		}
+	}
+	if decided == None {
+		return nil
+	}
+	for i, v := range inputs {
+		if v == decided && !results[i].Aborted {
+			return nil
+		}
+	}
+	return fmt.Errorf("validity: decided %s proposed only by aborted processes: %w", decided, ErrBadDAC)
+}

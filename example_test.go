@@ -1,0 +1,127 @@
+package setagree_test
+
+import (
+	"fmt"
+
+	"setagree"
+)
+
+// The n-PAC object of §3: matched propose/decide pairs on a private
+// label return the single consensus value; mismatched usage upsets the
+// object permanently.
+func ExampleNewPAC() {
+	d := setagree.NewPAC(2)
+
+	_ = d.Propose(7, 1) // PROPOSE(7, 1) -> done
+	v, _ := d.Decide(1) // matching DECIDE(1)
+	fmt.Println("decide(1):", v)
+
+	_ = d.Propose(9, 2) // a later pair adopts the fixed value
+	v, _ = d.Decide(2)
+	fmt.Println("decide(2):", v)
+
+	v, _ = d.Decide(1) // orphan decide: upsets the object
+	fmt.Println("orphan decide:", v, "upset:", d.Upset())
+	// Output:
+	// decide(1): 7
+	// decide(2): 7
+	// orphan decide: ⊥ upset: true
+}
+
+// The n-consensus object of §4, footnote 6: the first n proposes get
+// the first value; later proposes get ⊥.
+func ExampleNewConsensus() {
+	c := setagree.NewConsensus(2)
+	for _, v := range []setagree.Value{4, 5, 6} {
+		got, _ := c.Propose(v)
+		fmt.Println(got)
+	}
+	// Output:
+	// 4
+	// 4
+	// ⊥
+}
+
+// The strong 2-SA object of §4 (Algorithm 3): responses come from the
+// first two distinct proposals. The default chooser answers with the
+// earliest stored value.
+func ExampleNewTwoSA() {
+	s := setagree.NewTwoSA()
+	for _, v := range []setagree.Value{1, 2, 3} {
+		got, _ := s.Propose(v)
+		fmt.Println(got)
+	}
+	// Output:
+	// 1
+	// 1
+	// 1
+}
+
+// The (n,m)-PAC object of §5 exposes both component faces.
+func ExampleNewPACM() {
+	o := setagree.NewPACM(3, 2)
+
+	v, _ := o.ProposeC(8) // m-consensus face
+	fmt.Println("ProposeC:", v)
+
+	_ = o.ProposeP(5, 3) // n-PAC face
+	v, _ = o.DecideP(3)
+	fmt.Println("DecideP:", v)
+	// Output:
+	// ProposeC: 8
+	// DecideP: 5
+}
+
+// O'_n of §6: PROPOSE(v, k) routes to the (n_k, k)-SA component.
+func ExampleNewOPrime() {
+	o := setagree.NewOPrime(2, nil) // default power: n_k = 2k
+
+	v, _ := o.Propose(6, 1) // level 1 = 2-consensus
+	fmt.Println("k=1:", v)
+	v, _ = o.Propose(7, 1)
+	fmt.Println("k=1:", v)
+	v, _ = o.Propose(8, 1) // third proposal at level 1: beyond n_1 = 2
+	fmt.Println("k=1:", v)
+	// Output:
+	// k=1: 6
+	// k=1: 6
+	// k=1: ⊥
+}
+
+// Algorithm 2 live: the n-DAC problem among goroutines. With unanimous
+// inputs, Validity forces every decision to that input.
+func ExampleRunDAC() {
+	inputs := []setagree.Value{1, 1, 1, 1}
+	results, _ := setagree.RunDAC(4, 1, inputs, 0)
+
+	ok := setagree.CheckDACOutcome(inputs, results, 1) == nil
+	allOne := true
+	for _, r := range results {
+		if !r.Aborted && r.Decision != 1 {
+			allOne = false
+		}
+	}
+	fmt.Println("properties hold:", ok)
+	fmt.Println("all decided 1 (or p aborted):", allOne)
+	// Output:
+	// properties hold: true
+	// all decided 1 (or p aborted): true
+}
+
+// Herlihy's universal construction: a wait-free FIFO queue for n
+// processes from n-consensus objects and registers.
+func ExampleNewUniversalQueue() {
+	u, _ := setagree.NewUniversalQueue(2)
+	h1, _ := u.Handle(1)
+	h2, _ := u.Handle(2)
+
+	_ = h1.Enqueue(10)
+	_ = h1.Enqueue(20)
+	v, _ := h2.Dequeue()
+	fmt.Println(v)
+	v, _ = h2.Dequeue()
+	fmt.Println(v)
+	// Output:
+	// 10
+	// 20
+}

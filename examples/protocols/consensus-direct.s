@@ -1,0 +1,13 @@
+; consensus-direct.s — consensus by a single shared consensus object.
+;
+; Run (solved, 2 processes over a 2-consensus object):
+;   go run ./cmd/explore -asm examples/protocols/consensus-direct.s \
+;       -objects consensus:2 -task consensus -procs 2
+;
+; Run (refuted, 3 processes over the same object: the third response is ⊥):
+;   go run ./cmd/explore -asm examples/protocols/consensus-direct.s \
+;       -objects consensus:2 -task consensus -procs 3
+;
+; Registers: r0 = input (set by the harness), r2 = scratch.
+  invoke r2, obj0, PROPOSE, r0
+  decide r2

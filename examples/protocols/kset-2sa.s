@@ -1,0 +1,9 @@
+; kset-2sa.s — 2-set agreement from the strong 2-SA object of §4:
+; every response is one of the first two distinct proposals, so deciding
+; the response solves 2-set agreement among any number of processes.
+;
+; Run (solved for any -procs):
+;   go run ./cmd/explore -asm examples/protocols/kset-2sa.s \
+;       -objects 2sa -task kset:2 -procs 4
+  invoke r2, obj0, PROPOSE, r0
+  decide r2

@@ -1,0 +1,20 @@
+; pac-retry.s — every process runs the *non-distinguished* loop of
+; Algorithm 2 against one n-PAC object: propose at its own label (r1),
+; decide, retry on ⊥.
+;
+; As an n-DAC protocol this loop is fine, but as a WAIT-FREE consensus
+; protocol it is doomed: two processes can interleave their pairs
+; forever (the checker prints the cycle). This is the weak-termination
+; gap between the n-DAC problem and consensus that the paper's objects
+; live in.
+;
+; Run (refuted: wait-free termination, with a cycle witness):
+;   go run ./cmd/explore -asm examples/protocols/pac-retry.s \
+;       -objects pac:3 -task consensus -procs 3 -witness
+loop:
+  invoke r2, obj0, PROPOSE_AT, r0, r1
+  invoke r3, obj0, DECIDE, r1
+  jne r3, BOT, win
+  jmp loop
+win:
+  decide r3

@@ -1,0 +1,45 @@
+package setagree_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example main and checks its
+// key output line, protecting the runnable documentation from rot.
+// Requires the go toolchain on PATH (skipped otherwise and in -short).
+func TestExamplesRun(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("examples build subprocesses")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "agreement holds"},
+		{"dacsolver", "all three executions satisfied"},
+		{"separation", "Conclusion (Corollary 6.6)"},
+		{"universalqueue", "every value dequeued exactly once"},
+		{"bivalency", "engine behind every impossibility result"},
+		{"resilience", "nobody waited for it"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+tc.dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("example %s output missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}

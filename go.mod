@@ -1,0 +1,3 @@
+module setagree
+
+go 1.22

@@ -1,0 +1,257 @@
+package bg_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"setagree/internal/bg"
+	"setagree/internal/value"
+)
+
+func TestSafeAgreementSolo(t *testing.T) {
+	t.Parallel()
+	sa := bg.New(3)
+	if _, ok := sa.Resolve(); ok {
+		t.Fatal("resolved before any propose")
+	}
+	if err := sa.Propose(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := sa.Resolve()
+	if !ok || v != 7 {
+		t.Fatalf("resolve = %s, %v", v, ok)
+	}
+}
+
+func TestSafeAgreementAgreementAndValidity(t *testing.T) {
+	t.Parallel()
+	for round := 0; round < 50; round++ {
+		const n = 6
+		sa := bg.New(n)
+		var wg sync.WaitGroup
+		for i := 1; i <= n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := sa.Propose(i, value.Value(100+i)); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		v, ok := sa.Resolve()
+		if !ok {
+			t.Fatal("all proposes complete but unresolved")
+		}
+		if v < 101 || v > 100+n {
+			t.Fatalf("agreed value %s was not proposed", v)
+		}
+		// Stability: every further resolve returns the same value.
+		for i := 0; i < 3; i++ {
+			v2, ok := sa.Resolve()
+			if !ok || v2 != v {
+				t.Fatalf("resolution changed: %s -> %s", v, v2)
+			}
+		}
+	}
+}
+
+// TestSafeAgreementDoorwayBlocks pins the defining weakness: a process
+// stuck inside the doorway (Enter without Exit) keeps the instance
+// unresolved forever; once it exits, resolution appears.
+func TestSafeAgreementDoorwayBlocks(t *testing.T) {
+	t.Parallel()
+	sa := bg.New(3)
+	if err := sa.Propose(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Enter(2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sa.Resolve(); ok {
+		t.Fatal("resolved while a process is inside the doorway")
+	}
+	if err := sa.Exit(2); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := sa.Resolve()
+	if !ok {
+		t.Fatal("unresolved after doorway emptied")
+	}
+	if v != 5 && v != 6 {
+		t.Fatalf("agreed on unproposed %s", v)
+	}
+}
+
+func TestSafeAgreementErrors(t *testing.T) {
+	t.Parallel()
+	sa := bg.New(2)
+	if err := sa.Propose(0, 1); !errors.Is(err, bg.ErrBadProcess) {
+		t.Fatalf("process 0: %v", err)
+	}
+	if err := sa.Propose(3, 1); !errors.Is(err, bg.ErrBadProcess) {
+		t.Fatalf("process 3: %v", err)
+	}
+	if err := sa.Propose(1, value.Bottom); !errors.Is(err, bg.ErrBadProcess) {
+		t.Fatalf("sentinel: %v", err)
+	}
+	if err := sa.Exit(1); !errors.Is(err, bg.ErrExitWithoutEnter) {
+		t.Fatalf("exit without enter: %v", err)
+	}
+	if err := sa.Enter(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Enter(1, 4); !errors.Is(err, bg.ErrDoubleEnter) {
+		t.Fatalf("double enter: %v", err)
+	}
+}
+
+// TestSafeAgreementFirstCommitWins checks the core mechanism: once a
+// proposal commits, later doorway visitors retire, so the committed
+// value persists.
+func TestSafeAgreementFirstCommitWins(t *testing.T) {
+	t.Parallel()
+	sa := bg.New(3)
+	if err := sa.Propose(3, 9); err != nil { // commits at level 2
+		t.Fatal(err)
+	}
+	if err := sa.Propose(1, 4); err != nil { // sees the commit, retires
+		t.Fatal(err)
+	}
+	v, ok := sa.Resolve()
+	if !ok || v != 9 {
+		t.Fatalf("resolve = %s, want 9 (first committed)", v)
+	}
+}
+
+// TestWinnowNarrowsInputs: N callers, n instances — at most n agreed
+// values, all of them inputs, agreed by everyone.
+func TestWinnowNarrowsInputs(t *testing.T) {
+	t.Parallel()
+	const procs, n = 8, 3
+	w := bg.NewWinnow(n, procs)
+	var wg sync.WaitGroup
+	for i := 1; i <= procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := w.Propose(i, value.Value(10*i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	resolved := w.Resolved()
+	if len(resolved) != n {
+		t.Fatalf("%d instances resolved, want %d", len(resolved), n)
+	}
+	for j, v := range resolved {
+		if v < 10 || v > 10*procs || v%10 != 0 {
+			t.Fatalf("instance %d agreed on unproposed %s", j, v)
+		}
+	}
+}
+
+// TestWinnowCrashBlocksOneInstance: a caller stuck in one doorway
+// blocks exactly that instance.
+func TestWinnowCrashBlocksOneInstance(t *testing.T) {
+	t.Parallel()
+	const procs, n = 4, 3
+	w := bg.NewWinnow(n, procs)
+	// Caller 1 crashes inside instance 1's doorway (after finishing
+	// instance 0).
+	if err := w.Instance(0).Propose(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Instance(1).Enter(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	// The others run to completion.
+	var wg sync.WaitGroup
+	for i := 2; i <= procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := w.Propose(i, value.Value(100*i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	resolved := w.Resolved()
+	if len(resolved) != n-1 {
+		t.Fatalf("%d instances resolved, want %d (one blocked)", len(resolved), n-1)
+	}
+	if _, blocked := resolved[1]; blocked {
+		t.Fatal("the doorway-blocked instance resolved")
+	}
+}
+
+// TestKSetFromSafeAgreement: the classic BG application under full
+// concurrency — at most k distinct decisions, all inputs.
+func TestKSetFromSafeAgreement(t *testing.T) {
+	t.Parallel()
+	const procs, k = 7, 3
+	p := bg.NewKSet(k, procs)
+	decisions := make([]value.Value, procs)
+	var wg sync.WaitGroup
+	for i := 1; i <= procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, ok, err := p.Propose(i, value.Value(1000+i), 0)
+			if err != nil || !ok {
+				t.Errorf("process %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+			decisions[i-1] = v
+		}(i)
+	}
+	wg.Wait()
+	distinct := map[value.Value]bool{}
+	for i, d := range decisions {
+		if d < 1001 || d > 1000+procs {
+			t.Fatalf("process %d decided unproposed %s", i+1, d)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) > k {
+		t.Fatalf("%d distinct decisions exceed k=%d", len(distinct), k)
+	}
+}
+
+// TestKSetToleratesKMinusOneCrashes: k-1 processes crash inside
+// distinct doorways; every correct process still decides.
+func TestKSetToleratesKMinusOneCrashes(t *testing.T) {
+	t.Parallel()
+	const procs, k = 6, 3
+	p := bg.NewKSet(k, procs)
+	w := bgKSetWinnow(p)
+	// Crash processes 1 and 2 inside the doorways of instances 0 and 1.
+	if err := w.Instance(0).Enter(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Instance(1).Enter(2, 12); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 3; i <= procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, ok, err := p.Propose(i, value.Value(10+i), 0)
+			if err != nil || !ok {
+				t.Errorf("process %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+			if v.IsSentinel() {
+				t.Errorf("process %d decided sentinel", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// bgKSetWinnow reaches into the protocol for crash injection.
+func bgKSetWinnow(p *bg.KSetFromSafeAgreement) *bg.Winnow { return p.UnderlyingWinnow() }

@@ -1,0 +1,147 @@
+// Package bg implements the Borowsky–Gafni simulation primitives that
+// underpin the set-consensus partial order the paper builds on ([2, 6]):
+// the safe agreement object, its input-winnowing pattern, and the
+// classic (k-1)-resilient k-set agreement protocol built from k safe
+// agreement instances.
+//
+// Safe agreement is consensus with a weaker liveness guarantee: the
+// Propose operation is wait-free, and Resolve returns the agreed value
+// once no process is inside the *doorway* (the first half of a
+// propose). A process that crashes inside the doorway can block one
+// instance forever — which is exactly the cost the BG simulation pays
+// per crashed simulator.
+package bg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"setagree/internal/value"
+)
+
+// Safe agreement failure modes.
+var (
+	// ErrBadProcess reports a process index outside [1, n].
+	ErrBadProcess = errors.New("bg: process index out of range")
+	// ErrDoubleEnter reports a second doorway entry by one process.
+	ErrDoubleEnter = errors.New("bg: process already entered the doorway")
+	// ErrExitWithoutEnter reports an Exit with no matching Enter.
+	ErrExitWithoutEnter = errors.New("bg: doorway exit without enter")
+)
+
+// levels of the classic snapshot-based safe agreement protocol.
+const (
+	levelOut     uint8 = 0 // retired or never entered
+	levelDoorway uint8 = 1 // inside the doorway (unsafe window)
+	levelIn      uint8 = 2 // proposal committed
+)
+
+// SafeAgreement is an n-process safe agreement instance. It is safe
+// for concurrent use; each process i (1-based) proposes at most once.
+//
+// The implementation is the standard one over single-writer registers:
+// Propose writes (v, level=1), collects, and downgrades to level 0 if
+// it saw a committed (level 2) proposal, else commits at level 2.
+// Resolve collects and, if the doorway is empty, returns the committed
+// proposal of the smallest process index. Agreement holds because the
+// first process to commit is seen by every later doorway visitor.
+type SafeAgreement struct {
+	mu     sync.Mutex
+	vals   []value.Value
+	levels []uint8
+}
+
+// New creates a safe agreement instance for n processes.
+func New(n int) *SafeAgreement {
+	s := &SafeAgreement{
+		vals:   make([]value.Value, n),
+		levels: make([]uint8, n),
+	}
+	for i := range s.vals {
+		s.vals[i] = value.None
+	}
+	return s
+}
+
+// N returns the process bound.
+func (s *SafeAgreement) N() int { return len(s.vals) }
+
+// Propose submits process i's value: Enter immediately followed by
+// Exit. It is wait-free.
+func (s *SafeAgreement) Propose(i int, v value.Value) error {
+	if err := s.Enter(i, v); err != nil {
+		return err
+	}
+	return s.Exit(i)
+}
+
+// Enter is the doorway half of a propose: it publishes (v, level 1).
+// A process that stops between Enter and Exit models a crash inside
+// the doorway — the instance may stay unresolved forever.
+func (s *SafeAgreement) Enter(i int, v value.Value) error {
+	if i < 1 || i > len(s.vals) {
+		return fmt.Errorf("process %d of %d: %w", i, len(s.vals), ErrBadProcess)
+	}
+	if v.IsSentinel() {
+		return fmt.Errorf("bg: sentinel proposal %s: %w", v, ErrBadProcess)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.levels[i-1] != levelOut || s.vals[i-1] != value.None {
+		return fmt.Errorf("process %d: %w", i, ErrDoubleEnter)
+	}
+	s.vals[i-1] = v
+	s.levels[i-1] = levelDoorway
+	return nil
+}
+
+// Exit completes the propose: collect, then commit at level 2 unless a
+// committed proposal was seen (then retire at level 0).
+func (s *SafeAgreement) Exit(i int) error {
+	if i < 1 || i > len(s.vals) {
+		return fmt.Errorf("process %d of %d: %w", i, len(s.vals), ErrBadProcess)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.levels[i-1] != levelDoorway {
+		return fmt.Errorf("process %d: %w", i, ErrExitWithoutEnter)
+	}
+	sawCommitted := false
+	for j, l := range s.levels {
+		if j != i-1 && l == levelIn {
+			sawCommitted = true
+			break
+		}
+	}
+	if sawCommitted {
+		s.levels[i-1] = levelOut
+	} else {
+		s.levels[i-1] = levelIn
+	}
+	return nil
+}
+
+// Resolve returns the agreed value once the doorway is empty and some
+// proposal committed. ok is false while the instance is unresolved:
+// either no propose has completed yet, or a process is (possibly
+// forever) inside the doorway.
+func (s *SafeAgreement) Resolve() (v value.Value, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	committed := -1
+	for j, l := range s.levels {
+		switch l {
+		case levelDoorway:
+			return value.None, false
+		case levelIn:
+			if committed == -1 {
+				committed = j
+			}
+		}
+	}
+	if committed == -1 {
+		return value.None, false
+	}
+	return s.vals[committed], true
+}

@@ -1,0 +1,108 @@
+package bg
+
+import (
+	"fmt"
+
+	"setagree/internal/value"
+)
+
+// Winnow is the input-winnowing core of the BG simulation [2]: N
+// callers (simulators) push their inputs through n safe agreement
+// instances so that the N inputs are narrowed to at most n agreed
+// values — one per instance — on which all callers agree. A caller
+// that crashes inside a doorway blocks at most its one current
+// instance, so with f crashed callers at least n-f instances resolve.
+type Winnow struct {
+	instances []*SafeAgreement
+}
+
+// NewWinnow creates a winnowing array of n instances for up to procs
+// callers.
+func NewWinnow(n, procs int) *Winnow {
+	w := &Winnow{instances: make([]*SafeAgreement, n)}
+	for j := range w.instances {
+		w.instances[j] = New(procs)
+	}
+	return w
+}
+
+// Instances returns the number of safe agreement instances.
+func (w *Winnow) Instances() int { return len(w.instances) }
+
+// Propose pushes caller i's input through every instance in order.
+// Between any Enter and Exit the caller is inside exactly one doorway,
+// the invariant the BG crash-cost argument needs.
+func (w *Winnow) Propose(i int, input value.Value) error {
+	for j, sa := range w.instances {
+		if err := sa.Propose(i, input); err != nil {
+			return fmt.Errorf("instance %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// Resolved returns the currently agreed value of every resolved
+// instance (index -> value).
+func (w *Winnow) Resolved() map[int]value.Value {
+	out := make(map[int]value.Value)
+	for j, sa := range w.instances {
+		if v, ok := sa.Resolve(); ok {
+			out[j] = v
+		}
+	}
+	return out
+}
+
+// Instance exposes one underlying safe agreement (for crash-injection
+// tests and custom schedules).
+func (w *Winnow) Instance(j int) *SafeAgreement { return w.instances[j] }
+
+// KSetFromSafeAgreement solves (k-1)-resilient k-set agreement among
+// procs processes using k safe agreement instances — the classic BG
+// application. Each process proposes its input to every instance and
+// then spins until *some* instance resolves, deciding that value:
+//
+//   - at most k distinct decisions (one agreed value per instance);
+//   - validity (agreed values are proposed inputs);
+//   - termination with up to k-1 crashes: each crashed process blocks
+//     at most one doorway, so at least one of the k instances resolves
+//     for every correct process.
+type KSetFromSafeAgreement struct {
+	w *Winnow
+}
+
+// NewKSet creates the protocol object for procs processes and
+// agreement bound k.
+func NewKSet(k, procs int) *KSetFromSafeAgreement {
+	return &KSetFromSafeAgreement{w: NewWinnow(k, procs)}
+}
+
+// Propose runs process i's whole protocol: push the input through the
+// instances, then wait for the first resolution. maxSpins bounds the
+// wait (0 means spin forever, the theoretical protocol); if the bound
+// expires — possible only when >= k processes crashed in doorways —
+// ok is false.
+func (p *KSetFromSafeAgreement) Propose(i int, input value.Value, maxSpins int) (v value.Value, ok bool, err error) {
+	for j := 0; j < p.w.Instances(); j++ {
+		sa := p.w.Instance(j)
+		if err := sa.Propose(i, input); err != nil {
+			return value.None, false, err
+		}
+		// Eager check: deciding early never hurts.
+		if v, ok := sa.Resolve(); ok {
+			return v, true, nil
+		}
+	}
+	for spin := 0; maxSpins == 0 || spin < maxSpins; spin++ {
+		for j := 0; j < p.w.Instances(); j++ {
+			if v, ok := p.w.Instance(j).Resolve(); ok {
+				return v, true, nil
+			}
+		}
+	}
+	return value.None, false, nil
+}
+
+// UnderlyingWinnow exposes the protocol's winnowing array (crash
+// injection in tests, schedule experiments).
+func (p *KSetFromSafeAgreement) UnderlyingWinnow() *Winnow { return p.w }

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"testing"
+
+	"setagree/internal/core"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// TestPACFaceEquivalence drives identical operation sequences through a
+// bare n-PAC and through the PAC face of an (n,m)-PAC (Observation
+// 5.1(b)): responses must agree step for step.
+func TestPACFaceEquivalence(t *testing.T) {
+	t.Parallel()
+	const n, m = 3, 2
+	face := core.NewPACFace(core.NewPACM(n, m))
+	bare := core.NewPAC(n)
+	fs, bs := face.Init(), bare.Init()
+	ops := []value.Op{
+		value.ProposeAt(5, 1),
+		value.Decide(1),
+		value.ProposeAt(6, 2),
+		value.ProposeAt(7, 3),
+		value.Decide(3),
+		value.Decide(3), // upsets
+		value.Decide(2),
+		value.ProposeAt(8, 1),
+	}
+	for _, op := range ops {
+		var a, b value.Value
+		fs, a = applyOne(t, face, fs, op)
+		bs, b = applyOne(t, bare, bs, op)
+		if a != b {
+			t.Fatalf("%s: face returned %s, bare %s", op, a, b)
+		}
+	}
+}
+
+// TestConsensusFaceEquivalence does the same for the consensus face
+// (Observation 5.1(c)).
+func TestConsensusFaceEquivalence(t *testing.T) {
+	t.Parallel()
+	const n, m = 2, 3
+	face := core.NewConsensusFace(core.NewPACM(n, m))
+	fs := face.Init()
+	for i, want := range []value.Value{4, 4, 4, value.Bottom, value.Bottom} {
+		var got value.Value
+		fs, got = applyOne(t, face, fs, value.Propose(value.Value(4+i)))
+		if got != want {
+			t.Fatalf("propose #%d = %s, want %s", i+1, got, want)
+		}
+	}
+}
+
+// TestFacesRejectForeignMethods pins the interfaces.
+func TestFacesRejectForeignMethods(t *testing.T) {
+	t.Parallel()
+	pf := core.NewPACFace(core.NewPACM(2, 2))
+	for _, op := range []value.Op{value.Propose(1), value.ProposeC(1), value.ProposeP(1, 1)} {
+		if _, err := pf.Step(pf.Init(), op); err == nil {
+			t.Errorf("PAC face accepted %s", op)
+		}
+	}
+	cf := core.NewConsensusFace(core.NewPACM(2, 2))
+	for _, op := range []value.Op{value.ProposeAt(1, 1), value.ProposeC(1), value.Read()} {
+		if _, err := cf.Step(cf.Init(), op); err == nil {
+			t.Errorf("consensus face accepted %s", op)
+		}
+	}
+}
+
+// TestFacesShareState checks the two faces of one (n,m)-PAC interact
+// through the shared state exactly as §5 specifies: the C-face traffic
+// does not disturb the P-face and vice versa.
+func TestFacesShareState(t *testing.T) {
+	t.Parallel()
+	inner := core.NewPACM(2, 2)
+	pf, cf := core.NewPACFace(inner), core.NewConsensusFace(inner)
+	st := inner.Init()
+	var resp value.Value
+	st, resp = applyOne(t, cf, st, value.Propose(9))
+	if resp != 9 {
+		t.Fatalf("consensus face: %s", resp)
+	}
+	st, resp = applyOne(t, pf, st, value.ProposeAt(3, 1))
+	if resp != value.Done {
+		t.Fatalf("PAC face propose: %s", resp)
+	}
+	st, resp = applyOne(t, pf, st, value.Decide(1))
+	if resp != 3 {
+		t.Fatalf("PAC face decide: %s", resp)
+	}
+	_, resp = applyOne(t, cf, st, value.Propose(8))
+	if resp != 9 {
+		t.Fatalf("consensus face after PAC traffic: %s, want 9", resp)
+	}
+}
+
+func TestFaceNamesAndDeterminism(t *testing.T) {
+	t.Parallel()
+	pf := core.NewPACFace(core.NewPACM(3, 2))
+	if pf.Name() != "(3,2)-PAC as 3-PAC" {
+		t.Errorf("PAC face name = %q", pf.Name())
+	}
+	cf := core.NewConsensusFace(core.NewPACM(3, 2))
+	if cf.Name() != "(3,2)-PAC as 2-consensus" {
+		t.Errorf("consensus face name = %q", cf.Name())
+	}
+	if !spec.Deterministic(pf) || !spec.Deterministic(cf) {
+		t.Error("faces must be deterministic")
+	}
+}

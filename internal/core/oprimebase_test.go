@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"testing"
+
+	"setagree/internal/core"
+	"setagree/internal/value"
+)
+
+// TestOPrimeFromBaseLevelOne checks that level 1 is exactly the
+// n-consensus behaviour.
+func TestOPrimeFromBaseLevelOne(t *testing.T) {
+	t.Parallel()
+	o := core.NewOPrimeFromBase(2)
+	st := o.Init()
+	st, resp := applyOne(t, o, st, value.ProposeK(4, 1))
+	if resp != 4 {
+		t.Fatalf("first propose = %s", resp)
+	}
+	st, resp = applyOne(t, o, st, value.ProposeK(5, 1))
+	if resp != 4 {
+		t.Fatalf("second propose = %s, want 4", resp)
+	}
+	st, resp = applyOne(t, o, st, value.ProposeK(6, 1))
+	if resp != value.Bottom {
+		t.Fatalf("third propose = %s, want ⊥ (n = 2)", resp)
+	}
+	_ = st
+}
+
+// TestOPrimeFromBaseLevelKUsesTwoSA checks that a k >= 2 level serves
+// unboundedly many proposals with at most two distinct responses — the
+// 2-SA component.
+func TestOPrimeFromBaseLevelKUsesTwoSA(t *testing.T) {
+	t.Parallel()
+	o := core.NewOPrimeFromBase(2)
+	st := o.Init()
+	distinct := map[value.Value]bool{}
+	for i := 0; i < 12; i++ {
+		ts, err := o.Step(st, value.ProposeK(value.Value(i), 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range ts {
+			if tr.Resp == value.Bottom {
+				t.Fatalf("2-SA-backed level returned ⊥ at proposal %d", i+1)
+			}
+			distinct[tr.Resp] = true
+		}
+		st = ts[0].Next
+	}
+	if len(distinct) > 2 {
+		t.Fatalf("level 3 offered %d distinct responses, want <= 2", len(distinct))
+	}
+}
+
+// TestOPrimeFromBaseLevelsIndependent checks per-level isolation.
+func TestOPrimeFromBaseLevelsIndependent(t *testing.T) {
+	t.Parallel()
+	o := core.NewOPrimeFromBase(2)
+	st := o.Init()
+	st, _ = applyOne(t, o, st, value.ProposeK(1, 2))
+	ts, err := o.Step(st, value.ProposeK(9, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Resp != 9 {
+		t.Fatalf("fresh level 4 responded %+v", ts)
+	}
+}
+
+func TestOPrimeFromBaseBadOps(t *testing.T) {
+	t.Parallel()
+	o := core.NewOPrimeFromBase(2)
+	for _, op := range []value.Op{
+		value.Propose(1), value.ProposeK(1, 0), value.ProposeK(value.Bottom, 2),
+	} {
+		if _, err := o.Step(o.Init(), op); err == nil {
+			t.Errorf("Step(%s) accepted", op)
+		}
+	}
+}
+
+// TestOPrimeFromBaseKeyCanonical mirrors the OPrime key test.
+func TestOPrimeFromBaseKeyCanonical(t *testing.T) {
+	t.Parallel()
+	o := core.NewOPrimeFromBase(2)
+	a := o.Init()
+	a, _ = applyOne(t, o, a, value.ProposeK(1, 2))
+	a, _ = applyOne(t, o, a, value.ProposeK(2, 5))
+	b := o.Init()
+	b, _ = applyOne(t, o, b, value.ProposeK(2, 5))
+	b, _ = applyOne(t, o, b, value.ProposeK(1, 2))
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ:\n%s\n%s", a.Key(), b.Key())
+	}
+}

@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"testing"
+
+	"setagree/internal/core"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+func TestPACMName(t *testing.T) {
+	t.Parallel()
+	if got := core.NewPACM(3, 2).Name(); got != "(3,2)-PAC" {
+		t.Errorf("Name() = %q", got)
+	}
+	if got := core.ObjectO(4).Name(); got != "(5,4)-PAC" {
+		t.Errorf("ObjectO(4).Name() = %q", got)
+	}
+}
+
+func TestPACMDeterministic(t *testing.T) {
+	t.Parallel()
+	if !spec.Deterministic(core.NewPACM(2, 2)) {
+		t.Error("(n,m)-PAC must be deterministic (§5)")
+	}
+}
+
+// TestPACMRedirection checks the three §5 redirections against the
+// component specs run side by side.
+func TestPACMRedirection(t *testing.T) {
+	t.Parallel()
+	pm := core.NewPACM(3, 2)
+	st := pm.Init()
+
+	// PROPOSEC goes to the 2-consensus component: first value wins.
+	st, resp := applyOne(t, pm, st, value.ProposeC(8))
+	if resp != 8 {
+		t.Fatalf("first ProposeC returned %s", resp)
+	}
+	st, resp = applyOne(t, pm, st, value.ProposeC(9))
+	if resp != 8 {
+		t.Fatalf("second ProposeC returned %s, want 8", resp)
+	}
+	// Third proposal exceeds m = 2: ⊥.
+	st, resp = applyOne(t, pm, st, value.ProposeC(9))
+	if resp != value.Bottom {
+		t.Fatalf("third ProposeC returned %s, want ⊥", resp)
+	}
+
+	// PROPOSEP/DECIDEP go to the 3-PAC component, unaffected by the
+	// consensus traffic above.
+	st, resp = applyOne(t, pm, st, value.ProposeP(4, 2))
+	if resp != value.Done {
+		t.Fatalf("ProposeP returned %s", resp)
+	}
+	st, resp = applyOne(t, pm, st, value.DecideP(2))
+	if resp != 4 {
+		t.Fatalf("DecideP returned %s, want 4", resp)
+	}
+	_ = st
+}
+
+// TestPACMComponentsIndependent checks that upsetting the PAC component
+// leaves the consensus component untouched (Observation 5.1's
+// composition is a plain product).
+func TestPACMComponentsIndependent(t *testing.T) {
+	t.Parallel()
+	pm := core.NewPACM(2, 2)
+	st := pm.Init()
+	st, _ = applyOne(t, pm, st, value.DecideP(1)) // orphan decide upsets P
+	st, resp := applyOne(t, pm, st, value.DecideP(1))
+	if resp != value.Bottom {
+		t.Fatalf("DecideP on upset component returned %s", resp)
+	}
+	st, resp = applyOne(t, pm, st, value.ProposeC(3))
+	if resp != 3 {
+		t.Fatalf("consensus component affected by PAC upset: %s", resp)
+	}
+	_ = st
+}
+
+func TestPACMBadOps(t *testing.T) {
+	t.Parallel()
+	pm := core.NewPACM(2, 2)
+	st := pm.Init()
+	for _, op := range []value.Op{
+		value.Propose(1),      // plain propose is not in the interface
+		value.ProposeAt(1, 1), // raw PAC method is not in the interface
+		value.Decide(1),
+		value.ProposeP(1, 0),
+		value.ProposeP(1, 3),
+		value.DecideP(9),
+		value.ProposeC(value.Bottom),
+	} {
+		if _, err := pm.Step(st, op); err == nil {
+			t.Errorf("Step(%s) accepted an out-of-interface operation", op)
+		}
+	}
+}
+
+// TestObservation51 checks Observation 5.1 structurally: (a) the
+// (n,m)-PAC state is exactly an n-PAC state paired with an m-consensus
+// state; (b) its PAC face behaves as an n-PAC object; (c) its consensus
+// face behaves as an m-consensus object.
+func TestObservation51(t *testing.T) {
+	t.Parallel()
+	const n, m = 3, 2
+	pm := core.NewPACM(n, m)
+	pac := core.NewPAC(n)
+
+	// (b): drive the same operation sequence through the PAC face of the
+	// (n,m)-PAC and through a bare n-PAC; responses must match.
+	pmSt, pacSt := pm.Init(), pac.Init()
+	ops := []struct {
+		pmOp, pacOp value.Op
+	}{
+		{value.ProposeP(5, 1), value.ProposeAt(5, 1)},
+		{value.DecideP(1), value.Decide(1)},
+		{value.ProposeP(6, 2), value.ProposeAt(6, 2)},
+		{value.ProposeP(7, 3), value.ProposeAt(7, 3)},
+		{value.DecideP(2), value.Decide(2)},
+		{value.DecideP(2), value.Decide(2)}, // upsets both
+		{value.DecideP(3), value.Decide(3)},
+	}
+	for _, o := range ops {
+		var a, b value.Value
+		pmSt, a = applyOne(t, pm, pmSt, o.pmOp)
+		pacSt, b = applyOne(t, pac, pacSt, o.pacOp)
+		if a != b {
+			t.Fatalf("%s: (n,m)-PAC face returned %s, bare n-PAC %s", o.pmOp, a, b)
+		}
+	}
+
+	// (c): the consensus face of a fresh (n,m)-PAC matches an
+	// m-consensus object.
+	pmSt = pm.Init()
+	for i, v := range []value.Value{3, 4, 5} {
+		var resp value.Value
+		pmSt, resp = applyOne(t, pm, pmSt, value.ProposeC(v))
+		want := value.Value(3)
+		if i >= m {
+			want = value.Bottom
+		}
+		if resp != want {
+			t.Fatalf("ProposeC #%d returned %s, want %s", i+1, resp, want)
+		}
+	}
+}

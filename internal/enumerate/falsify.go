@@ -1,0 +1,205 @@
+package enumerate
+
+import (
+	"errors"
+	"fmt"
+
+	"setagree/internal/explore"
+	"setagree/internal/machine"
+	"setagree/internal/sim"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// ErrInconclusive reports candidates whose state space exceeded the
+// per-candidate limit, so the sweep could not refute them outright.
+var ErrInconclusive = errors.New("enumerate: candidate exceeded state limit")
+
+// SweepOptions tunes a falsification sweep.
+type SweepOptions struct {
+	// MaxStatesPerCandidate caps each model check (default 1 << 15).
+	MaxStatesPerCandidate int
+	// SoloSteps caps the solo prefilter run length (default 64).
+	SoloSteps int
+	// DisableSoloFilter skips the cheap solo prefilter and model-checks
+	// every shape (the ablation knob: measures what the prefilter buys).
+	DisableSoloFilter bool
+}
+
+func (o *SweepOptions) fill() {
+	if o.MaxStatesPerCandidate <= 0 {
+		o.MaxStatesPerCandidate = 1 << 15
+	}
+	if o.SoloSteps <= 0 {
+		o.SoloSteps = 64
+	}
+}
+
+// soloFilter cheaply rejects a shape by running its program solo (as
+// process 1 of a 1-process system over fresh objects) on inputs 0 and
+// 1. A surviving shape decides its own input in both solo runs — a
+// necessary condition for any role of consensus-like tasks and n-DAC
+// (Validity + Nontriviality + solo termination, cf. Claim 4.2.4's solo
+// arguments).
+func (f *Family) soloFilter(s Shape, opts SweepOptions) (bool, error) {
+	prog, err := f.Program(s, "solo-probe")
+	if err != nil {
+		return false, err
+	}
+	for _, input := range []value.Value{0, 1} {
+		sys := &explore.System{
+			Programs: []*machine.Program{prog},
+			Objects:  f.Objects,
+			Inputs:   []value.Value{input},
+		}
+		res, err := sim.Run(sys, nil, sim.Solo(0), sim.Options{MaxSteps: opts.SoloSteps})
+		if err != nil {
+			return false, err
+		}
+		if !res.Completed {
+			return false, nil // solo livelock
+		}
+		if res.Outcome.Aborted[0] {
+			return false, nil // abort without any other process stepping
+		}
+		if !res.Outcome.Decided[0] || res.Outcome.Decisions[0] != input {
+			return false, nil // solo validity (and no sentinel "decisions")
+		}
+	}
+	return true, nil
+}
+
+// FalsifyDAC sweeps the family over the n-DAC task with n processes:
+// process 1 is the distinguished process and runs a shape from the
+// abort-enabled family; processes 2..n all run a common shape from the
+// abort-free family. Every (p-shape, q-shape) pair surviving the solo
+// prefilter is model-checked on every given input vector; a pair that
+// passes all of them is recorded as a solver (the impossibility
+// experiments expect none).
+func FalsifyDAC(f *Family, n int, inputVectors [][]value.Value, opts SweepOptions) (*Report, error) {
+	opts.fill()
+	pFam := *f
+	pFam.AllowAbort = true
+	qFam := *f
+	qFam.AllowAbort = false
+
+	pShapes, err := survivors(&pFam, opts)
+	if err != nil {
+		return nil, err
+	}
+	qShapes, err := survivors(&qFam, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Pruned: (len(pFam.Shapes()) - len(pShapes)) + (len(qFam.Shapes()) - len(qShapes)),
+	}
+	tsk := task.DAC{N: n, P: 0}
+	for _, ps := range pShapes {
+		pProg, err := pFam.Program(ps, "cand-p")
+		if err != nil {
+			return nil, err
+		}
+		for _, qs := range qShapes {
+			qProg, err := qFam.Program(qs, "cand-q")
+			if err != nil {
+				return nil, err
+			}
+			progs := make([]*machine.Program, n)
+			progs[0] = pProg
+			for i := 1; i < n; i++ {
+				progs[i] = qProg
+			}
+			rep.Candidates++
+			asn := Assignment{Shapes: []Shape{ps, qs}}
+			refuted, err := refute(rep, asn, progs, &pFam, tsk, inputVectors, opts)
+			if err != nil {
+				return nil, err
+			}
+			if !refuted {
+				rep.Solvers = append(rep.Solvers, asn)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// FalsifySymmetric sweeps the family over a symmetric task (consensus,
+// k-set agreement): every process runs the same shape.
+func FalsifySymmetric(f *Family, tsk task.Task, inputVectors [][]value.Value, opts SweepOptions) (*Report, error) {
+	opts.fill()
+	fam := *f
+	fam.AllowAbort = false
+	shapes, err := survivors(&fam, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Pruned: len(fam.Shapes()) - len(shapes)}
+	for _, s := range shapes {
+		prog, err := fam.Program(s, "cand")
+		if err != nil {
+			return nil, err
+		}
+		progs := make([]*machine.Program, tsk.Procs())
+		for i := range progs {
+			progs[i] = prog
+		}
+		rep.Candidates++
+		asn := Assignment{Shapes: []Shape{s}}
+		refuted, err := refute(rep, asn, progs, &fam, tsk, inputVectors, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !refuted {
+			rep.Solvers = append(rep.Solvers, asn)
+		}
+	}
+	return rep, nil
+}
+
+func survivors(f *Family, opts SweepOptions) ([]Shape, error) {
+	shapes := f.Shapes()
+	if opts.DisableSoloFilter {
+		return shapes, nil
+	}
+	var out []Shape
+	for _, s := range shapes {
+		ok, err := f.soloFilter(s, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// refute model-checks one assignment on every input vector, recording a
+// sample failure. It reports whether the assignment was refuted.
+func refute(rep *Report, asn Assignment, progs []*machine.Program, f *Family,
+	tsk task.Task, inputVectors [][]value.Value, opts SweepOptions,
+) (bool, error) {
+	for _, in := range inputVectors {
+		sys := &explore.System{Programs: progs, Objects: f.Objects, Inputs: in}
+		r, err := explore.Check(sys, tsk, explore.Options{MaxStates: opts.MaxStatesPerCandidate})
+		if errors.Is(err, explore.ErrStateLimit) {
+			return false, fmt.Errorf("candidate %v on %v: %w", asn.Shapes, in, ErrInconclusive)
+		}
+		if err != nil {
+			return false, err
+		}
+		if !r.Solved() {
+			if rep.SampleFailure == nil {
+				rep.SampleFailure = &Failure{
+					Assignment: asn,
+					Violation:  r.Violations[0],
+					Inputs:     append([]value.Value(nil), in...),
+				}
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,110 @@
+package explore_test
+
+import (
+	"errors"
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/programs"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// TestAdversaryKeepsAlgorithm2BivalentForever: for Algorithm 2 the
+// bivalence-preserving adversary finds an infinite bivalent run — the
+// two non-distinguished processes can retry against each other forever
+// while p stays frozen. This is exactly the weak-termination loophole
+// of the n-DAC problem (only Termination (a)/(b), not wait-freedom).
+func TestAdversaryKeepsAlgorithm2BivalentForever(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	sys, err := prot.System([]value.Value{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{Valency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := rep.Adversary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.KeepsBivalentForever() {
+		t.Fatalf("adversary stopped at critical configuration %d after %d steps; "+
+			"expected an infinite bivalent run", adv.CriticalID, len(adv.Schedule))
+	}
+	// The infinite run must not involve the distinguished process
+	// infinitely often (p has Termination (a)): every step of the cycle
+	// is a non-p step.
+	for _, s := range adv.Cycle {
+		if s.Proc == 0 {
+			t.Fatalf("cycle contains a step of p: %s (would violate Termination (a))", s)
+		}
+	}
+}
+
+// TestAdversaryHitsCriticalOnWaitFreeProtocol: for a verified wait-free
+// protocol the adversary CANNOT cycle (an infinite bivalent run would
+// be a wait-freedom violation); it must end at a critical
+// configuration (Claim 5.2.2's conclusion).
+func TestAdversaryHitsCriticalOnWaitFreeProtocol(t *testing.T) {
+	t.Parallel()
+	prot := programs.ConsensusFromPACM(3, 2, 2)
+	sys, err := prot.System([]value.Value{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, task.Consensus{N: 2}, explore.Options{Valency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved() {
+		t.Fatalf("protocol refuted: %v", rep.Violations[0])
+	}
+	adv, err := rep.Adversary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.KeepsBivalentForever() {
+		t.Fatal("adversary cycled on a wait-free-correct protocol — impossible")
+	}
+	if adv.CriticalID < 0 {
+		t.Fatal("no critical configuration reached")
+	}
+}
+
+// TestAdversaryRequiresValency pins the error contract.
+func TestAdversaryRequiresValency(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(2, 1)
+	sys, err := prot.System([]value.Value{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, task.DAC{N: 2, P: 0}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Adversary(); !errors.Is(err, explore.ErrNoValency) {
+		t.Fatalf("err = %v, want ErrNoValency", err)
+	}
+}
+
+// TestAdversaryRejectsUnivalentStart: with unanimous inputs the initial
+// configuration is univalent and the adversary has nothing to preserve.
+func TestAdversaryRejectsUnivalentStart(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(2, 1)
+	sys, err := prot.System([]value.Value{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, task.DAC{N: 2, P: 0}, explore.Options{Valency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Adversary(); !errors.Is(err, explore.ErrNoValency) {
+		t.Fatalf("err = %v, want ErrNoValency", err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package explore is an exhaustive model checker for protocols in the
+// paper's system model: finitely many deterministic processes applying
+// operations to linearizable shared objects under every possible
+// schedule and every nondeterministic object response.
+//
+// It mechanizes the proof technique of §4 and §5 (the bivalency
+// arguments of [8, 10]): it builds the reachable configuration graph,
+// checks safety predicates at every configuration, checks the paper's
+// termination properties via strongly-connected-component analysis,
+// labels configurations with their valence, and extracts concrete
+// witness schedules for every violation — the runs the proofs'
+// adversaries construct.
+package explore
+
+import (
+	"strconv"
+	"strings"
+
+	"setagree/internal/machine"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// System is a closed protocol instance: one program per process, the
+// shared objects, and the processes' input values.
+type System struct {
+	// Programs holds one program per process (entries may alias).
+	Programs []*machine.Program
+	// Objects are the shared objects' sequential specifications.
+	Objects []spec.Spec
+	// Inputs are the per-process proposal values.
+	Inputs []value.Value
+}
+
+// Procs returns the number of processes.
+func (s *System) Procs() int { return len(s.Programs) }
+
+// Config is one configuration: the state of every process and every
+// object, plus which processes have taken at least one step (needed by
+// the n-DAC Nontriviality property).
+type Config struct {
+	// Procs are the process states.
+	Procs []machine.ProcState
+	// Objs are the object states.
+	Objs []spec.State
+	// SteppedMask has bit i set when process i has taken a step.
+	SteppedMask uint64
+}
+
+// Key returns the canonical encoding of the configuration.
+func (c *Config) Key() string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(c.SteppedMask, 36))
+	for _, p := range c.Procs {
+		b.WriteByte('/')
+		b.WriteString(p.Key())
+	}
+	for _, o := range c.Objs {
+		b.WriteByte('#')
+		b.WriteString(o.Key())
+	}
+	return b.String()
+}
+
+// Outcome projects the externally visible outcome of the configuration
+// for task predicates.
+func (c *Config) Outcome(inputs []value.Value) task.Outcome {
+	o := task.NewOutcome(inputs)
+	for i, p := range c.Procs {
+		switch p.Status {
+		case machine.StatusDecided:
+			o.Decide(i, p.Decision)
+		case machine.StatusAborted:
+			o.Aborted[i] = true
+		}
+		o.Stepped[i] = c.SteppedMask&(1<<uint(i)) != 0
+	}
+	return o
+}
+
+// Live reports whether process i is poised to take a step.
+func (c *Config) Live(i int) bool {
+	return c.Procs[i].Status == machine.StatusPoised
+}
+
+// Quiescent reports whether no process can take a step.
+func (c *Config) Quiescent() bool {
+	for i := range c.Procs {
+		if c.Live(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// initialConfig builds the initial configuration of the system: every
+// process started on its input, every object in its initial state.
+func initialConfig(sys *System) (*Config, error) {
+	n := sys.Procs()
+	c := &Config{
+		Procs: make([]machine.ProcState, n),
+		Objs:  make([]spec.State, len(sys.Objects)),
+	}
+	for i := 0; i < n; i++ {
+		ps, err := machine.Start(sys.Programs[i], i+1, sys.Inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		c.Procs[i] = ps
+	}
+	for j, o := range sys.Objects {
+		c.Objs[j] = o.Init()
+	}
+	return c, nil
+}
+
+// Step is one labelled transition of the configuration graph: process
+// Proc applied Op to object Obj and received Resp (branch Branch of the
+// object's nondeterministic transition relation).
+type Step struct {
+	// Op is the applied operation.
+	Op value.Op
+	// Resp is the response the object chose.
+	Resp value.Value
+	// Proc is the stepping process (0-based).
+	Proc int
+	// Obj is the object index.
+	Obj int
+	// Branch is the index into the object's offered transitions.
+	Branch int
+}
+
+// String renders the step as "p3: PROPOSE_AT(0, 3) on obj0 -> done".
+func (s Step) String() string {
+	return "p" + strconv.Itoa(s.Proc+1) + ": " + s.Op.String() +
+		" on obj" + strconv.Itoa(s.Obj) + " -> " + s.Resp.String()
+}
+
+// successor applies one step of process i, branch b, to c. It returns
+// the successor configurations for every branch when b < 0, or the
+// single chosen branch otherwise.
+func successors(sys *System, c *Config, i int) ([]*Config, []Step, error) {
+	poise, ok := machine.Poised(sys.Programs[i], c.Procs[i])
+	if !ok {
+		return nil, nil, nil
+	}
+	if poise.Obj < 0 || poise.Obj >= len(sys.Objects) {
+		return nil, nil, spec.BadOpError("system", poise.Op,
+			"object index "+strconv.Itoa(poise.Obj)+" out of range")
+	}
+	o := sys.Objects[poise.Obj]
+	ts, err := o.Step(c.Objs[poise.Obj], poise.Op)
+	if err != nil {
+		return nil, nil, err
+	}
+	configs := make([]*Config, 0, len(ts))
+	steps := make([]Step, 0, len(ts))
+	for b, t := range ts {
+		ps, err := machine.Resume(sys.Programs[i], c.Procs[i], t.Resp)
+		if err != nil {
+			return nil, nil, err
+		}
+		next := &Config{
+			Procs:       make([]machine.ProcState, len(c.Procs)),
+			Objs:        make([]spec.State, len(c.Objs)),
+			SteppedMask: c.SteppedMask | 1<<uint(i),
+		}
+		copy(next.Procs, c.Procs)
+		copy(next.Objs, c.Objs)
+		next.Procs[i] = ps
+		next.Objs[poise.Obj] = t.Next
+		configs = append(configs, next)
+		steps = append(steps, Step{
+			Proc:   i,
+			Obj:    poise.Obj,
+			Op:     poise.Op,
+			Resp:   t.Resp,
+			Branch: b,
+		})
+	}
+	return configs, steps, nil
+}

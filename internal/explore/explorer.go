@@ -1,0 +1,239 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"setagree/internal/machine"
+	"setagree/internal/task"
+)
+
+// Exploration failure modes.
+var (
+	// ErrStateLimit reports that the reachable graph exceeded
+	// Options.MaxStates.
+	ErrStateLimit = errors.New("state limit exceeded")
+	// ErrNotBinary reports that valency analysis was requested for a
+	// protocol deciding values outside {0, 1}.
+	ErrNotBinary = errors.New("valency analysis requires binary decisions")
+)
+
+// Options tunes an exploration.
+type Options struct {
+	// MaxStates caps the number of distinct configurations explored
+	// (default 1 << 21).
+	MaxStates int
+	// Valency enables valence labelling of every configuration and
+	// critical-configuration detection. It requires a binary task (all
+	// decisions in {0, 1}).
+	Valency bool
+}
+
+// ViolationKind classifies a found violation.
+type ViolationKind uint8
+
+// Violation kinds.
+const (
+	// ViolationSafety is a task safety-predicate failure at a reachable
+	// configuration.
+	ViolationSafety ViolationKind = iota + 1
+	// ViolationWaitFree is an infinite execution in which some process
+	// takes infinitely many steps without deciding.
+	ViolationWaitFree
+	// ViolationDACTerminationA is an infinite execution in which the
+	// distinguished process takes infinitely many steps without deciding
+	// or aborting (n-DAC Termination (a)).
+	ViolationDACTerminationA
+	// ViolationDACTerminationB is a solo execution of a non-distinguished
+	// process that never decides (n-DAC Termination (b)).
+	ViolationDACTerminationB
+	// ViolationHaltUndecided is a process with termination obligations
+	// whose program stopped without deciding.
+	ViolationHaltUndecided
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationSafety:
+		return "safety"
+	case ViolationWaitFree:
+		return "wait-free termination"
+	case ViolationDACTerminationA:
+		return "DAC termination (a)"
+	case ViolationDACTerminationB:
+		return "DAC termination (b)"
+	case ViolationHaltUndecided:
+		return "halt while undecided"
+	default:
+		return "violation"
+	}
+}
+
+// Violation is one counterexample: the failed property, the offending
+// process where applicable, and a concrete witness.
+type Violation struct {
+	// Err is the precise property failure.
+	Err error
+	// Witness is the finite schedule from the initial configuration to
+	// the violating configuration; for liveness violations it is
+	// extended by Cycle.
+	Witness []Step
+	// Cycle, for liveness violations, is a schedule that returns the
+	// violating configuration to itself (the infinite run repeats it).
+	Cycle []Step
+	// Kind classifies the violation.
+	Kind ViolationKind
+	// Proc is the affected process (0-based), or -1.
+	Proc int
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return v.Kind.String() + ": " + v.Err.Error()
+}
+
+// Report is the result of an exploration.
+type Report struct {
+	// States is the number of distinct reachable configurations.
+	States int
+	// Transitions is the number of labelled edges.
+	Transitions int
+	// Quiescent is the number of configurations where no process can
+	// take a step.
+	Quiescent int
+	// Violations lists every property failure found (empty means the
+	// protocol solves the task on this instance).
+	Violations []*Violation
+	// Valency holds the valence analysis when Options.Valency was set.
+	Valency *ValencyReport
+
+	g *graph
+}
+
+// Solved reports whether no violation was found.
+func (r *Report) Solved() bool { return len(r.Violations) == 0 }
+
+// graph is the explored configuration graph.
+type graph struct {
+	sys     *System
+	tsk     task.Task
+	configs []*Config
+	ids     map[string]int
+	edges   [][]edge  // adjacency: edges[from]
+	parent  []int     // BFS tree: parent config id (-1 for root)
+	parentE []Step    // BFS tree: step from parent
+	valence []Valence // per-config valence, populated by valency()
+}
+
+type edge struct {
+	to   int
+	step Step
+}
+
+// Check explores the full reachable configuration graph of sys and
+// verifies tsk's safety and liveness properties over it.
+func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
+	if len(sys.Programs) != len(sys.Inputs) {
+		return nil, fmt.Errorf("explore: %d programs but %d inputs: %w",
+			len(sys.Programs), len(sys.Inputs), machine.ErrProgram)
+	}
+	if tsk != nil && tsk.Procs() != sys.Procs() {
+		return nil, fmt.Errorf("explore: task %s wants %d processes, system has %d: %w",
+			tsk.Name(), tsk.Procs(), sys.Procs(), machine.ErrProgram)
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1 << 21
+	}
+
+	g := &graph{sys: sys, tsk: tsk, ids: make(map[string]int)}
+	rep := &Report{g: g}
+
+	root, err := initialConfig(sys)
+	if err != nil {
+		return nil, err
+	}
+	g.add(root, -1, Step{})
+
+	for at := 0; at < len(g.configs); at++ {
+		c := g.configs[at]
+		if c.Quiescent() {
+			rep.Quiescent++
+		}
+		for i := range c.Procs {
+			if !c.Live(i) {
+				continue
+			}
+			nexts, steps, err := successors(sys, c, i)
+			if err != nil {
+				return nil, err
+			}
+			for b, nc := range nexts {
+				id, fresh := g.add(nc, at, steps[b])
+				g.edges[at] = append(g.edges[at], edge{to: id, step: steps[b]})
+				rep.Transitions++
+				if fresh && len(g.configs) > opts.MaxStates {
+					return rep, fmt.Errorf("explore: %d states: %w", len(g.configs), ErrStateLimit)
+				}
+			}
+		}
+	}
+	rep.States = len(g.configs)
+
+	if tsk != nil {
+		g.checkSafety(rep)
+		g.checkLiveness(rep)
+	}
+	if opts.Valency {
+		v, err := g.valency()
+		if err != nil {
+			return nil, err
+		}
+		rep.Valency = v
+	}
+	return rep, nil
+}
+
+// add interns c, recording its BFS parent when first seen. It returns
+// the config id and whether it was fresh.
+func (g *graph) add(c *Config, parent int, via Step) (int, bool) {
+	key := c.Key()
+	if id, ok := g.ids[key]; ok {
+		return id, false
+	}
+	id := len(g.configs)
+	g.ids[key] = id
+	g.configs = append(g.configs, c)
+	g.edges = append(g.edges, nil)
+	g.parent = append(g.parent, parent)
+	g.parentE = append(g.parentE, via)
+	return id, true
+}
+
+// pathTo reconstructs the BFS schedule from the root to config id.
+func (g *graph) pathTo(id int) []Step {
+	var rev []Step
+	for at := id; g.parent[at] >= 0; at = g.parent[at] {
+		rev = append(rev, g.parentE[at])
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// checkSafety evaluates the task predicate at every reachable
+// configuration and records the first violation (with witness).
+func (g *graph) checkSafety(rep *Report) {
+	for id, c := range g.configs {
+		if err := g.tsk.CheckSafety(c.Outcome(g.sys.Inputs)); err != nil {
+			rep.Violations = append(rep.Violations, &Violation{
+				Kind:    ViolationSafety,
+				Err:     err,
+				Proc:    -1,
+				Witness: g.pathTo(id),
+			})
+			return
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package explore_test
+
+import (
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/machine"
+	"setagree/internal/objects"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// TestQuiescentCountMatchesTerminalRuns: quiescent configurations are
+// exactly those where no process can step; a simulated run that
+// completes must end in one of them, so running many seeds never
+// contradicts a zero quiescent count.
+func TestQuiescentCountMatchesTerminalRuns(t *testing.T) {
+	t.Parallel()
+	prot := programs.ConsensusFromPACM(3, 2, 2)
+	sys, err := prot.System([]value.Value{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, task.Consensus{N: 2}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quiescent == 0 {
+		t.Fatal("wait-free-correct protocol must have quiescent configurations")
+	}
+	// Every completed simulated run reaches quiescence.
+	for seed := uint64(1); seed <= 20; seed++ {
+		sys2, err := prot.System([]value.Value{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sys2, task.Consensus{N: 2}, sim.Random(seed), sim.Options{MaxSteps: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: wait-free protocol did not complete", seed)
+		}
+	}
+}
+
+// TestTransitionsCountEdges: transitions = sum over configs of enabled
+// (process, branch) pairs; a deterministic single-process system has a
+// simple closed form we can pin.
+func TestTransitionsCountEdges(t *testing.T) {
+	t.Parallel()
+	// One process, three writes then decide: configs = 4 (poised at
+	// w1, w2, w3, decided), transitions = 3.
+	prog := machine.NewBuilder("three-writes", 4).
+		Invoke(2, 0, value.MethodWrite, machine.C(1), machine.Operand{}).
+		Invoke(2, 0, value.MethodWrite, machine.C(2), machine.Operand{}).
+		Invoke(2, 0, value.MethodWrite, machine.C(3), machine.Operand{}).
+		Decide(machine.R(machine.RegInput)).
+		MustBuild()
+	sys := singleProcSystem(prog)
+	rep, err := explore.Check(sys, task.Consensus{N: 1}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != 4 || rep.Transitions != 3 || rep.Quiescent != 1 {
+		t.Fatalf("states=%d transitions=%d quiescent=%d, want 4/3/1",
+			rep.States, rep.Transitions, rep.Quiescent)
+	}
+	if !rep.Solved() {
+		t.Fatal(rep.Violations[0])
+	}
+}
+
+// TestNondeterministicBranchingCounted: a single 2-SA propose after a
+// stored value branches the graph.
+func TestNondeterministicBranchingCounted(t *testing.T) {
+	t.Parallel()
+	prot := programs.NaiveTwoSAConsensus(2)
+	sys, err := prot.System([]value.Value{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, nil, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With inputs {0,1}: the first stepper stores its value (one
+	// branch); the second propose branches two ways (respond 0 or 1).
+	// The graph is a tree of 7 configurations:
+	//   C0 -> C1 (p1) -> {C3, C4} (p2 branches)
+	//      -> C2 (p2) -> {C5, C6} (p1 branches)
+	if rep.States != 7 || rep.Transitions != 6 {
+		t.Fatalf("states=%d transitions=%d, want 7/6", rep.States, rep.Transitions)
+	}
+	// Control: the deterministic sticky-consensus variant of the same
+	// protocol has no branching — strictly fewer configurations.
+	sticky := programs.ConsensusFromSticky(2)
+	ssys, err := sticky.System([]value.Value{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := explore.Check(ssys, nil, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.States >= rep.States {
+		t.Fatalf("deterministic variant has %d states >= nondeterministic %d", srep.States, rep.States)
+	}
+}
+
+// TestNilTaskSkipsProperties: Check with a nil task explores only.
+func TestNilTaskSkipsProperties(t *testing.T) {
+	t.Parallel()
+	prot := programs.NaiveTwoSAConsensus(2) // violates consensus, but no task given
+	sys, err := prot.System([]value.Value{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, nil, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved() {
+		t.Fatal("nil task must report no violations")
+	}
+}
+
+// TestTaskArityMismatch pins the arity guard.
+func TestTaskArityMismatch(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	sys, err := prot.System([]value.Value{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := explore.Check(sys, task.DAC{N: 4, P: 0}, explore.Options{}); err == nil {
+		t.Fatal("task/system arity mismatch accepted")
+	}
+}
+
+// TestValencySuccessorClosure: a configuration's valence is exactly the
+// union of its successors' valences plus its immediate decisions — spot
+// check via the counts (bivalent configs must have >= 1 successor).
+func TestValencySuccessorClosure(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(2, 1)
+	sys, err := prot.System([]value.Value{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, task.DAC{N: 2, P: 0}, explore.Options{Valency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rep.Valency
+	if v.Bivalent+v.Univalent0+v.Univalent1+v.Null != rep.States {
+		t.Fatalf("valence census %d+%d+%d+%d != %d states",
+			v.Bivalent, v.Univalent0, v.Univalent1, v.Null, rep.States)
+	}
+	if v.Null != 0 {
+		t.Fatalf("%d null-valent configurations in a correct protocol", v.Null)
+	}
+	if v.CriticalCount == 0 {
+		t.Fatal("no critical configurations despite a bivalent initial configuration")
+	}
+	if v.CriticalSameObject != v.CriticalCount {
+		t.Fatalf("only %d of %d critical configurations cluster on one object",
+			v.CriticalSameObject, v.CriticalCount)
+	}
+}
+
+func singleProcSystem(prog *machine.Program) *explore.System {
+	return &explore.System{
+		Programs: []*machine.Program{prog},
+		Objects:  []spec.Spec{objects.NewRegister()},
+		Inputs:   []value.Value{0},
+	}
+}

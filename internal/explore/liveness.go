@@ -1,0 +1,272 @@
+package explore
+
+import (
+	"fmt"
+
+	"setagree/internal/machine"
+	"setagree/internal/task"
+)
+
+// checkLiveness verifies the task's termination obligations over the
+// explored graph:
+//
+//   - wait-free tasks: no process takes infinitely many steps without
+//     deciding, i.e. no reachable cycle contains a step of an undecided
+//     process (every stepping process is undecided by construction);
+//   - n-DAC: Termination (a) — no reachable cycle contains a step of the
+//     distinguished process; Termination (b) — no reachable cycle
+//     consists solely of steps of one non-distinguished process (a solo
+//     livelock);
+//   - all tasks: a process with a termination obligation must never stop
+//     undecided (halt), since then even its solo runs fail to decide.
+func (g *graph) checkLiveness(rep *Report) {
+	live := g.tsk.Liveness()
+	n := g.sys.Procs()
+
+	// Halted-undecided processes. We read "takes infinitely many steps"
+	// as "keeps executing": a correct algorithm never stops a process
+	// that has not decided (or, for the DAC distinguished process,
+	// aborted) — otherwise the trivial all-halt protocol would satisfy
+	// the termination properties vacuously. Both task families here
+	// (consensus/k-set agreement and n-DAC) oblige every process, so any
+	// undecided halt is a violation.
+	reported := make([]bool, n)
+	for id, c := range g.configs {
+		for i, ps := range c.Procs {
+			if ps.Status != machine.StatusHalted || reported[i] {
+				continue
+			}
+			reported[i] = true
+			rep.Violations = append(rep.Violations, &Violation{
+				Kind: ViolationHaltUndecided,
+				Err: fmt.Errorf("process %d stopped without deciding: %w",
+					i+1, task.ErrViolation),
+				Proc:    i,
+				Witness: g.pathTo(id),
+			})
+		}
+	}
+
+	comp := g.sccs()
+	isDAC := !live.WaitFree && live.DACDistinguished >= 0
+
+	// For resilience-bounded tasks we reason per SCC: the processes with
+	// no step inside a cyclic SCC are "effectively crashed" in the
+	// corresponding infinite executions; the cycle only violates
+	// termination when that count is within the tolerated bound.
+	// (Process statuses are constant across an SCC: decisions and aborts
+	// are irrevocable, so a status change cannot lie on a cycle.)
+	var sccStepping map[int]uint64
+	if !live.WaitFree && !isDAC {
+		sccStepping = make(map[int]uint64)
+		for from := range g.edges {
+			for _, e := range g.edges[from] {
+				if comp[from] == comp[e.to] {
+					sccStepping[comp[from]] |= 1 << uint(e.step.Proc)
+				}
+			}
+		}
+	}
+
+	// Cycle-based obligations. An SCC is cyclic if it has an internal
+	// edge (size > 1, or a self loop).
+	for from := range g.edges {
+		for _, e := range g.edges[from] {
+			if comp[from] != comp[e.to] {
+				continue
+			}
+			i := e.step.Proc
+			var kind ViolationKind
+			switch {
+			case live.WaitFree:
+				kind = ViolationWaitFree
+			case isDAC && i == live.DACDistinguished:
+				kind = ViolationDACTerminationA
+			case isDAC:
+				// Termination (b) prohibits only solo livelocks: the
+				// cycle must consist purely of i-steps. Check whether an
+				// i-only cycle through this edge exists.
+				if !g.soloCycle(from, e.to, i, comp) {
+					continue
+				}
+				kind = ViolationDACTerminationB
+			default:
+				// Resilience bound: count the poised processes that take
+				// no step inside this SCC — they crash in the infinite
+				// execution this cycle induces. Within the tolerance the
+				// run is one the protocol must survive, so an undecided
+				// stepper is a violation; beyond it, the run is excused.
+				crashed := 0
+				stepping := sccStepping[comp[from]]
+				for j := range g.configs[from].Procs {
+					if g.configs[from].Live(j) && stepping&(1<<uint(j)) == 0 {
+						crashed++
+					}
+				}
+				if crashed > live.Tolerance {
+					continue
+				}
+				kind = ViolationWaitFree
+			}
+			if reported[i] {
+				continue
+			}
+			reported[i] = true
+			wit := g.pathTo(from)
+			cyc := append([]Step{e.step}, g.cyclePath(e.to, from, i, kind, comp)...)
+			rep.Violations = append(rep.Violations, &Violation{
+				Kind: kind,
+				Err: fmt.Errorf("process %d takes infinitely many steps without deciding: %w",
+					i+1, task.ErrViolation),
+				Proc:    i,
+				Witness: wit,
+				Cycle:   cyc,
+			})
+		}
+	}
+}
+
+// soloCycle reports whether there is a cycle of pure i-steps passing
+// through the edge from->to (both already known to share an SCC).
+func (g *graph) soloCycle(from, to, i int, comp []int) bool {
+	if from == to {
+		return true
+	}
+	// BFS over i-edges from to, looking for from.
+	seen := map[int]bool{to: true}
+	queue := []int{to}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for _, e := range g.edges[at] {
+			if e.step.Proc != i || comp[e.to] != comp[at] || seen[e.to] {
+				continue
+			}
+			if e.to == from {
+				return true
+			}
+			seen[e.to] = true
+			queue = append(queue, e.to)
+		}
+	}
+	return false
+}
+
+// cyclePath returns a schedule from config `from` back to config `to`
+// inside one SCC; for Termination (b) violations it restricts the path
+// to steps of process i (a solo cycle was already shown to exist).
+func (g *graph) cyclePath(from, to, i int, kind ViolationKind, comp []int) []Step {
+	if from == to {
+		return nil
+	}
+	type crumb struct {
+		prev int
+		step Step
+	}
+	soloOnly := kind == ViolationDACTerminationB
+	seen := map[int]crumb{from: {prev: -1}}
+	queue := []int{from}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for _, e := range g.edges[at] {
+			if comp[e.to] != comp[at] {
+				continue
+			}
+			if soloOnly && e.step.Proc != i {
+				continue
+			}
+			if _, ok := seen[e.to]; ok {
+				continue
+			}
+			seen[e.to] = crumb{prev: at, step: e.step}
+			if e.to == to {
+				var rev []Step
+				for at := to; at != from; at = seen[at].prev {
+					rev = append(rev, seen[at].step)
+				}
+				for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+					rev[l], rev[r] = rev[r], rev[l]
+				}
+				return rev
+			}
+			queue = append(queue, e.to)
+		}
+	}
+	return nil
+}
+
+// sccs computes strongly connected components (iterative Tarjan) and
+// returns the component id of every configuration.
+func (g *graph) sccs() []int {
+	n := len(g.configs)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+	nComp := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.edges[f.v]) {
+				w := g.edges[f.v][f.ei].to
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// finish v
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}

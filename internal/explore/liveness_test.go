@@ -1,0 +1,282 @@
+package explore_test
+
+import (
+	"testing"
+
+	"setagree/internal/core"
+	"setagree/internal/explore"
+	"setagree/internal/machine"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// spinOnRegister builds a program that reads obj[reg] until it equals
+// trigger, then decides its input — a solo livelock while nobody writes.
+func spinOnRegister(obj int, trigger value.Value) *machine.Program {
+	return machine.NewBuilder("spinner", 4).
+		Label("loop").
+		Invoke(2, obj, value.MethodRead, machine.Operand{}, machine.Operand{}).
+		JNe(machine.R(2), machine.C(trigger), "loop").
+		Decide(machine.R(machine.RegInput)).
+		MustBuild()
+}
+
+// decideOwn builds a program that performs one register write and
+// decides its input.
+func decideOwn(obj int) *machine.Program {
+	return machine.NewBuilder("decide-own", 4).
+		Invoke(2, obj, value.MethodWrite, machine.R(machine.RegInput), machine.Operand{}).
+		Decide(machine.R(machine.RegInput)).
+		MustBuild()
+}
+
+// TestDACTerminationBViolation builds a DAC protocol whose
+// non-distinguished process spins solo on an unwritten register: the
+// checker must attribute the violation to Termination (b) and produce a
+// pure-q cycle witness.
+func TestDACTerminationBViolation(t *testing.T) {
+	t.Parallel()
+	p := machine.NewBuilder("p-decides", 4).
+		Invoke(2, 0, value.MethodWrite, machine.C(7), machine.Operand{}).
+		Decide(machine.R(machine.RegInput)).
+		MustBuild()
+	q := spinOnRegister(1, 1) // register obj1 is never written
+	sys := &explore.System{
+		Programs: []*machine.Program{p, q},
+		Objects:  []spec.Spec{objects.NewRegister(), objects.NewRegister()},
+		Inputs:   []value.Value{0, 0},
+	}
+	rep, err := explore.Check(sys, task.DAC{N: 2, P: 0}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solved() {
+		t.Fatal("solo livelock not detected")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == explore.ViolationDACTerminationB && v.Proc == 1 {
+			found = true
+			if len(v.Cycle) == 0 {
+				t.Error("no cycle witness")
+			}
+			for _, s := range v.Cycle {
+				if s.Proc != 1 {
+					t.Errorf("Termination (b) cycle contains a step of p%d", s.Proc+1)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no Termination (b) violation among %v", rep.Violations)
+	}
+}
+
+// TestDACTerminationAViolation: the distinguished process itself spins.
+func TestDACTerminationAViolation(t *testing.T) {
+	t.Parallel()
+	sys := &explore.System{
+		Programs: []*machine.Program{spinOnRegister(0, 1), decideOwn(0)},
+		Objects:  []spec.Spec{objects.NewRegister()},
+		Inputs:   []value.Value{1, 1},
+	}
+	// q writes its input 1 to obj0 which releases p... make the trigger
+	// unreachable instead: q writes 1, p waits for 1 — p CAN be released.
+	// Use trigger 2 so p never terminates.
+	sys.Programs[0] = spinOnRegister(0, 2)
+	rep, err := explore.Check(sys, task.DAC{N: 2, P: 0}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == explore.ViolationDACTerminationA && v.Proc == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no Termination (a) violation among %v", rep.Violations)
+	}
+}
+
+// TestMixedLivelockAllowedByDAC pins the key liveness distinction: the
+// Algorithm 2 retry livelock involves several processes, which n-DAC
+// permits (only wait-free tasks forbid it). A two-process mutual
+// spin over a PAC object (each upsetting the other's label timing)
+// must NOT be flagged under DAC liveness, but MUST be flagged under
+// consensus (wait-free) liveness.
+func TestMixedLivelockAllowedByDAC(t *testing.T) {
+	t.Parallel()
+	// Non-distinguished retry loops as in Algorithm 2 for both q's;
+	// p decides immediately via its own label.
+	retry := machine.NewBuilder("retry", 4).
+		Label("loop").
+		Invoke(2, 0, value.MethodProposeAt, machine.R(machine.RegInput), machine.R(machine.RegID1)).
+		Invoke(3, 0, value.MethodDecide, machine.Operand{}, machine.R(machine.RegID1)).
+		JNe(machine.R(3), machine.C(value.Bottom), "win").
+		Jmp("loop").
+		Label("win").
+		Decide(machine.R(3)).
+		MustBuild()
+	pProg := machine.NewBuilder("p", 4).
+		Invoke(2, 0, value.MethodProposeAt, machine.R(machine.RegInput), machine.R(machine.RegID1)).
+		Invoke(3, 0, value.MethodDecide, machine.Operand{}, machine.R(machine.RegID1)).
+		JEq(machine.R(3), machine.C(value.Bottom), "abort").
+		Decide(machine.R(3)).
+		Label("abort").
+		Abort().
+		MustBuild()
+	sys := &explore.System{
+		Programs: []*machine.Program{pProg, retry, retry},
+		Objects:  []spec.Spec{core.NewPAC(3)},
+		Inputs:   []value.Value{1, 0, 0},
+	}
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved() {
+		t.Fatalf("DAC flagged the permitted mixed livelock: %v", rep.Violations[0])
+	}
+
+	// The same system fails wait-free consensus liveness (the mixed
+	// cycle now counts) — and would also fail safety if p aborts, so we
+	// only assert it is not solved.
+	sys2 := &explore.System{
+		Programs: []*machine.Program{retry, retry, retry},
+		Objects:  []spec.Spec{core.NewPAC(3)},
+		Inputs:   []value.Value{1, 0, 0},
+	}
+	rep2, err := explore.Check(sys2, task.Consensus{N: 3}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundWF := false
+	for _, v := range rep2.Violations {
+		if v.Kind == explore.ViolationWaitFree {
+			foundWF = true
+		}
+	}
+	if !foundWF {
+		t.Fatalf("wait-free check missed the mixed livelock: %v", rep2.Violations)
+	}
+}
+
+// TestHaltUndecidedViolation: a process whose program simply ends.
+func TestHaltUndecidedViolation(t *testing.T) {
+	t.Parallel()
+	halter := machine.NewBuilder("halter", 4).
+		Invoke(2, 0, value.MethodRead, machine.Operand{}, machine.Operand{}).
+		Halt().
+		MustBuild()
+	sys := &explore.System{
+		Programs: []*machine.Program{decideOwn(0), halter},
+		Objects:  []spec.Spec{objects.NewRegister()},
+		Inputs:   []value.Value{0, 0},
+	}
+	rep, err := explore.Check(sys, task.Consensus{N: 2}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == explore.ViolationHaltUndecided && v.Proc == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("halt-undecided not flagged: %v", rep.Violations)
+	}
+}
+
+// TestDecidedSentinelIsSafetyViolation pins the hole found by the
+// depth-2 falsification sweep: a protocol that "decides" NIL or ⊥ must
+// be refuted, not treated as undecided.
+func TestDecidedSentinelIsSafetyViolation(t *testing.T) {
+	t.Parallel()
+	// Reads the unwritten register (NIL) and decides the response.
+	prog := machine.NewBuilder("decide-nil", 4).
+		Invoke(2, 0, value.MethodRead, machine.Operand{}, machine.Operand{}).
+		Decide(machine.R(2)).
+		MustBuild()
+	sys := &explore.System{
+		Programs: []*machine.Program{prog, prog},
+		Objects:  []spec.Spec{objects.NewRegister()},
+		Inputs:   []value.Value{0, 1},
+	}
+	rep, err := explore.Check(sys, task.Consensus{N: 2}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solved() {
+		t.Fatal("deciding NIL slipped through the safety predicate")
+	}
+	if rep.Violations[0].Kind != explore.ViolationSafety {
+		t.Fatalf("kind = %s, want safety", rep.Violations[0].Kind)
+	}
+}
+
+// TestValencyAbortBit checks the CanAbort valence bit on Algorithm 2:
+// from the initial configuration of the canonical instance an abort of
+// p is reachable.
+func TestValencyAbortBit(t *testing.T) {
+	t.Parallel()
+	prot := algorithm2System(t)
+	rep, err := explore.Check(prot, task.DAC{N: 2, P: 0}, explore.Options{Valency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valency.Initial&explore.CanAbort == 0 {
+		t.Fatal("abort unreachable from the initial configuration — but the adversary can always interleave q")
+	}
+}
+
+// TestReportDeterminism: two explorations of the same system agree on
+// all counts.
+func TestReportDeterminism(t *testing.T) {
+	t.Parallel()
+	a, err := explore.Check(algorithm2System(t), task.DAC{N: 2, P: 0}, explore.Options{Valency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explore.Check(algorithm2System(t), task.DAC{N: 2, P: 0}, explore.Options{Valency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.States != b.States || a.Transitions != b.Transitions || a.Quiescent != b.Quiescent {
+		t.Fatalf("reports differ: %+v vs %+v", a, b)
+	}
+	if a.Valency.CriticalCount != b.Valency.CriticalCount ||
+		a.Valency.Bivalent != b.Valency.Bivalent ||
+		a.Valency.Initial != b.Valency.Initial {
+		t.Fatal("valency reports differ")
+	}
+}
+
+func algorithm2System(t *testing.T) *explore.System {
+	t.Helper()
+	pProg := machine.NewBuilder("p", 4).
+		Invoke(2, 0, value.MethodProposeAt, machine.R(machine.RegInput), machine.R(machine.RegID1)).
+		Invoke(3, 0, value.MethodDecide, machine.Operand{}, machine.R(machine.RegID1)).
+		JEq(machine.R(3), machine.C(value.Bottom), "abort").
+		Decide(machine.R(3)).
+		Label("abort").
+		Abort().
+		MustBuild()
+	retry := machine.NewBuilder("q", 4).
+		Label("loop").
+		Invoke(2, 0, value.MethodProposeAt, machine.R(machine.RegInput), machine.R(machine.RegID1)).
+		Invoke(3, 0, value.MethodDecide, machine.Operand{}, machine.R(machine.RegID1)).
+		JNe(machine.R(3), machine.C(value.Bottom), "win").
+		Jmp("loop").
+		Label("win").
+		Decide(machine.R(3)).
+		MustBuild()
+	return &explore.System{
+		Programs: []*machine.Program{pProg, retry},
+		Objects:  []spec.Spec{core.NewPAC(2)},
+		Inputs:   []value.Value{1, 0},
+	}
+}

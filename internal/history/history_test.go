@@ -1,0 +1,161 @@
+package history_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"setagree/internal/history"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+func TestRecorderOrdersEvents(t *testing.T) {
+	t.Parallel()
+	rec := history.NewRecorder()
+	obj := rec.Wrap(spec.NewAtomic(objects.NewRegister(), nil), 0)
+	if _, err := obj.Apply(1, value.Write(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Apply(2, value.Read()); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.History()
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	if h.Events[0].Method != value.MethodWrite || h.Events[1].Method != value.MethodRead {
+		t.Fatalf("order: %+v", h.Events)
+	}
+	if !(h.Events[0].Inv < h.Events[0].Ret && h.Events[0].Ret < h.Events[1].Inv) {
+		t.Fatalf("timestamps not sequential: %+v", h.Events)
+	}
+	if h.Events[1].Resp != 1 {
+		t.Fatalf("read recorded %s", h.Events[1].Resp)
+	}
+}
+
+func TestPrecededBy(t *testing.T) {
+	t.Parallel()
+	a := history.Event{Inv: 1, Ret: 2}
+	b := history.Event{Inv: 3, Ret: 4}
+	c := history.Event{Inv: 2, Ret: 5} // overlaps a? a.Ret=2, c.Inv=2: not strictly after
+	if !b.PrecededBy(a) {
+		t.Error("b must be preceded by a")
+	}
+	if a.PrecededBy(b) {
+		t.Error("a is not preceded by b")
+	}
+	if c.PrecededBy(a) {
+		t.Error("equal timestamps are concurrent, not ordered")
+	}
+}
+
+func TestPerObjectSplit(t *testing.T) {
+	t.Parallel()
+	h := &history.History{Events: []history.Event{
+		{Obj: 0, Inv: 1, Ret: 2},
+		{Obj: 1, Inv: 3, Ret: 4},
+		{Obj: 0, Inv: 5, Ret: 6},
+	}}
+	per := h.PerObject()
+	if len(per) != 2 || per[0].Len() != 2 || per[1].Len() != 1 {
+		t.Fatalf("split: %+v", per)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	h := &history.History{Events: []history.Event{
+		{Proc: 1, Obj: 0, Method: value.MethodProposeAt, Arg: 5, Label: 2, Resp: value.Done, Inv: 1, Ret: 2},
+		{Proc: 2, Obj: 0, Method: value.MethodDecide, Label: 2, Resp: value.Bottom, Inv: 3, Ret: 4},
+	}}
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := history.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != h.Len() {
+		t.Fatalf("round trip lost events: %d", got.Len())
+	}
+	for i := range h.Events {
+		if got.Events[i] != h.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], h.Events[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	if _, err := history.ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEventOpReconstruction(t *testing.T) {
+	t.Parallel()
+	e := history.Event{Method: value.MethodProposeAt, Arg: 7, Label: 3}
+	op := e.Op()
+	if op.Method != value.MethodProposeAt || op.Arg != 7 || op.Label != 3 {
+		t.Fatalf("op = %+v", op)
+	}
+}
+
+// TestRecorderConcurrent checks the recorder under parallel load: all
+// events recorded, timestamps strictly increasing per the shared clock,
+// Inv < Ret for every event.
+func TestRecorderConcurrent(t *testing.T) {
+	t.Parallel()
+	rec := history.NewRecorder()
+	obj := rec.Wrap(spec.NewAtomic(objects.NewCounter(), nil), 0)
+	const procs, each = 6, 50
+	var wg sync.WaitGroup
+	for p := 1; p <= procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := obj.Apply(p, value.FetchAdd(1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := rec.History()
+	if h.Len() != procs*each {
+		t.Fatalf("recorded %d events, want %d", h.Len(), procs*each)
+	}
+	seen := make(map[int64]bool)
+	for _, e := range h.Events {
+		if e.Inv >= e.Ret {
+			t.Fatalf("event has Inv %d >= Ret %d", e.Inv, e.Ret)
+		}
+		if seen[e.Inv] || seen[e.Ret] {
+			t.Fatal("timestamp reused")
+		}
+		seen[e.Inv], seen[e.Ret] = true, true
+	}
+}
+
+func TestRecorderHistoryIsCopy(t *testing.T) {
+	t.Parallel()
+	rec := history.NewRecorder()
+	obj := rec.Wrap(spec.NewAtomic(objects.NewRegister(), nil), 0)
+	if _, err := obj.Apply(1, value.Write(1)); err != nil {
+		t.Fatal(err)
+	}
+	h1 := rec.History()
+	if _, err := obj.Apply(1, value.Write(2)); err != nil {
+		t.Fatal(err)
+	}
+	if h1.Len() != 1 {
+		t.Fatal("earlier snapshot grew")
+	}
+}

@@ -1,0 +1,138 @@
+package lincheck_test
+
+import (
+	"testing"
+
+	"setagree/internal/core"
+	"setagree/internal/lincheck"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// TestFuzzWholeZoo fuzzes every object type in the repository — the
+// paper's own objects included — under concurrent clients and verifies
+// every recorded history is linearizable w.r.t. its spec. Each entry
+// runs several rounds to vary interleavings.
+func TestFuzzWholeZoo(t *testing.T) {
+	t.Parallel()
+	zoo := []struct {
+		name string
+		sp   spec.Spec
+		gen  lincheck.OpGen
+	}{
+		{"register", objects.NewRegister(), func(p, i int) value.Op {
+			if (p+i)%2 == 0 {
+				return value.Write(value.Value(p*10 + i))
+			}
+			return value.Read()
+		}},
+		{"4-consensus", objects.NewConsensus(4), func(p, i int) value.Op {
+			return value.Propose(value.Value(p))
+		}},
+		{"2-SA", objects.NewTwoSA(), func(p, i int) value.Op {
+			return value.Propose(value.Value(p % 3))
+		}},
+		{"(6,3)-SA", objects.NewSetAgreement(6, 3), func(p, i int) value.Op {
+			return value.Propose(value.Value(p))
+		}},
+		{"sticky", objects.Sticky(), func(p, i int) value.Op {
+			return value.Propose(value.Value(p))
+		}},
+		{"4-PAC", core.NewPAC(4), func(p, i int) value.Op {
+			if i%2 == 0 {
+				return value.ProposeAt(value.Value(p), p)
+			}
+			return value.Decide(p)
+		}},
+		{"(4,2)-PAC", core.NewPACM(4, 2), func(p, i int) value.Op {
+			switch i % 3 {
+			case 0:
+				return value.ProposeP(value.Value(p), p)
+			case 1:
+				return value.DecideP(p)
+			default:
+				return value.ProposeC(value.Value(p))
+			}
+		}},
+		{"oprime", core.NewOPrime(2, nil), func(p, i int) value.Op {
+			return value.ProposeK(value.Value(p), 1+i%2)
+		}},
+		{"oprime-base", core.NewOPrimeFromBase(2), func(p, i int) value.Op {
+			return value.ProposeK(value.Value(p), 1+i%2)
+		}},
+		{"pac-face", core.NewPACFace(core.NewPACM(4, 2)), func(p, i int) value.Op {
+			if i%2 == 0 {
+				return value.ProposeAt(value.Value(p), p)
+			}
+			return value.Decide(p)
+		}},
+		{"queue", objects.NewQueue(), func(p, i int) value.Op {
+			if i%2 == 0 {
+				return value.Enqueue(value.Value(p*100 + i))
+			}
+			return value.Dequeue()
+		}},
+		{"queue-with-token", objects.NewQueueWith(7), func(p, i int) value.Op {
+			return value.Dequeue()
+		}},
+		{"counter", objects.NewCounter(), func(p, i int) value.Op {
+			return value.FetchAdd(1)
+		}},
+		{"tas", objects.NewTestAndSet(), func(p, i int) value.Op {
+			return value.TestAndSet()
+		}},
+	}
+	choosers := []struct {
+		name string
+		mk   func() spec.Chooser
+	}{
+		{"first", spec.FirstChooser},
+		{"rotating", spec.RotatingChooser},
+		{"seeded", func() spec.Chooser { return spec.SeededChooser(17) }},
+	}
+	for _, entry := range zoo {
+		entry := entry
+		t.Run(entry.name, func(t *testing.T) {
+			t.Parallel()
+			for _, ch := range choosers {
+				for round := 0; round < 4; round++ {
+					h, res, err := lincheck.Fuzz(entry.sp, entry.gen, lincheck.FuzzOptions{
+						Procs:      4,
+						OpsPerProc: 4,
+						Chooser:    ch.mk(),
+					})
+					if err != nil {
+						t.Fatalf("chooser=%s round=%d: %v (history %d events)",
+							ch.name, round, err, h.Len())
+					}
+					if len(res.Order) != h.Len() {
+						t.Fatalf("witness covers %d of %d", len(res.Order), h.Len())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzRejectsOversizedRun pins the MaxEvents guard.
+func TestFuzzRejectsOversizedRun(t *testing.T) {
+	t.Parallel()
+	_, _, err := lincheck.Fuzz(objects.NewRegister(), func(p, i int) value.Op {
+		return value.Read()
+	}, lincheck.FuzzOptions{Procs: 9, OpsPerProc: 8})
+	if err == nil {
+		t.Fatal("oversized fuzz accepted")
+	}
+}
+
+// TestFuzzSurfacesBadOps checks generator errors propagate.
+func TestFuzzSurfacesBadOps(t *testing.T) {
+	t.Parallel()
+	_, _, err := lincheck.Fuzz(objects.NewRegister(), func(p, i int) value.Op {
+		return value.Propose(1) // not a register op
+	}, lincheck.FuzzOptions{Procs: 1, OpsPerProc: 1})
+	if err == nil {
+		t.Fatal("bad op accepted")
+	}
+}

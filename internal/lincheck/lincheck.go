@@ -1,0 +1,151 @@
+// Package lincheck decides whether a recorded concurrent history is
+// linearizable [11] with respect to a sequential specification. It
+// implements the Wing–Gong search with memoization on (linearized-set,
+// object-state) pairs, extended to nondeterministic specifications (the
+// strong set-agreement objects): an event matches if *some* transition
+// of the spec yields its observed response.
+package lincheck
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"setagree/internal/history"
+	"setagree/internal/spec"
+)
+
+// Limits and failure modes.
+var (
+	// ErrTooLarge reports a per-object history beyond MaxEvents.
+	ErrTooLarge = errors.New("lincheck: history too large")
+	// ErrNotLinearizable reports that no linearization exists.
+	ErrNotLinearizable = errors.New("history is not linearizable")
+)
+
+// MaxEvents bounds the number of events per object in one check (the
+// linearized set is a 64-bit mask).
+const MaxEvents = 64
+
+// Result describes a successful check.
+type Result struct {
+	// Order is a witness linearization: indices into the checked
+	// history's Events in linearization order.
+	Order []int
+	// StatesVisited counts memoized search states, a measure of search
+	// effort.
+	StatesVisited int
+}
+
+// Check verifies that every per-object subhistory of h is linearizable
+// with respect to specs[obj]. It returns a witness per object id.
+func Check(h *history.History, specs map[int]spec.Spec) (map[int]*Result, error) {
+	out := make(map[int]*Result)
+	for obj, sub := range h.PerObject() {
+		sp, ok := specs[obj]
+		if !ok {
+			return nil, fmt.Errorf("lincheck: no spec for object %d: %w", obj, spec.ErrBadOp)
+		}
+		res, err := CheckObject(sub, sp)
+		if err != nil {
+			return nil, fmt.Errorf("object %d (%s): %w", obj, sp.Name(), err)
+		}
+		out[obj] = res
+	}
+	return out, nil
+}
+
+// CheckObject verifies a single-object history against its spec using
+// the Wing–Gong search: repeatedly pick a minimal unlinearized event
+// (one preceded in real time only by already-linearized events) whose
+// observed response some spec transition can produce, and recurse. The
+// search memoizes (linearized-mask, state-key) pairs, so each
+// combination is explored once.
+func CheckObject(h *history.History, sp spec.Spec) (*Result, error) {
+	n := h.Len()
+	if n > MaxEvents {
+		return nil, fmt.Errorf("%d events (max %d): %w", n, MaxEvents, ErrTooLarge)
+	}
+	if n == 0 {
+		return &Result{}, nil
+	}
+	events := h.Events
+
+	s := searcher{
+		events: events,
+		sp:     sp,
+		seen:   make(map[string]bool),
+		order:  make([]int, 0, n),
+	}
+	full := uint64(1)<<uint(n) - 1
+	if !s.search(0, sp.Init()) {
+		return nil, fmt.Errorf("%s over %d events: %w", sp.Name(), n, ErrNotLinearizable)
+	}
+	if len(s.order) != n || s.doneMask != full {
+		return nil, fmt.Errorf("lincheck: internal witness inconsistency: %w", ErrNotLinearizable)
+	}
+	return &Result{Order: s.order, StatesVisited: len(s.seen)}, nil
+}
+
+type searcher struct {
+	events   []history.Event
+	sp       spec.Spec
+	seen     map[string]bool
+	order    []int
+	doneMask uint64
+}
+
+// search tries to extend the linearization given the set of linearized
+// events in mask and the object state st. It returns true when every
+// event is linearized, leaving the witness in s.order.
+func (s *searcher) search(mask uint64, st spec.State) bool {
+	n := len(s.events)
+	if mask == uint64(1)<<uint(n)-1 {
+		s.doneMask = mask
+		return true
+	}
+	key := strconv.FormatUint(mask, 36) + "|" + st.Key()
+	if s.seen[key] {
+		return false
+	}
+	s.seen[key] = true
+
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		if mask&bit != 0 {
+			continue
+		}
+		e := s.events[i]
+		// Minimality: every event that returned before e was invoked
+		// must already be linearized.
+		minimal := true
+		for j := 0; j < n; j++ {
+			jbit := uint64(1) << uint(j)
+			if j == i || mask&jbit != 0 {
+				continue
+			}
+			if e.PrecededBy(s.events[j]) {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		ts, err := s.sp.Step(st, e.Op())
+		if err != nil {
+			continue
+		}
+		for _, t := range ts {
+			if t.Resp != e.Resp {
+				continue
+			}
+			s.order = append(s.order, i)
+			if s.search(mask|bit, t.Next) {
+				return true
+			}
+			s.order = s.order[:len(s.order)-1]
+		}
+	}
+	return false
+}

@@ -1,0 +1,252 @@
+package lincheck_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"setagree/internal/core"
+	"setagree/internal/history"
+	"setagree/internal/lincheck"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// event builds a completed event.
+func event(proc, obj int, op value.Op, resp value.Value, inv, ret int64) history.Event {
+	return history.Event{
+		Proc: proc, Obj: obj,
+		Method: op.Method, Arg: op.Arg, Label: op.Label,
+		Resp: resp, Inv: inv, Ret: ret,
+	}
+}
+
+func TestSequentialRegisterHistoryLinearizable(t *testing.T) {
+	t.Parallel()
+	h := &history.History{Events: []history.Event{
+		event(1, 0, value.Write(5), value.Done, 1, 2),
+		event(2, 0, value.Read(), 5, 3, 4),
+	}}
+	res, err := lincheck.CheckObject(h, objects.NewRegister())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != 2 {
+		t.Fatalf("witness length %d", len(res.Order))
+	}
+}
+
+// TestConcurrentReadOldValue checks that a read overlapping a write may
+// legally return the old value.
+func TestConcurrentReadOldValue(t *testing.T) {
+	t.Parallel()
+	h := &history.History{Events: []history.Event{
+		event(1, 0, value.Write(5), value.Done, 1, 10),
+		event(2, 0, value.Read(), value.None, 2, 3), // overlaps the write
+	}}
+	if _, err := lincheck.CheckObject(h, objects.NewRegister()); err != nil {
+		t.Fatalf("overlapping old-value read rejected: %v", err)
+	}
+}
+
+// TestStaleReadNotLinearizable checks the real-time order is enforced:
+// a read strictly after a completed write cannot return the old value.
+func TestStaleReadNotLinearizable(t *testing.T) {
+	t.Parallel()
+	h := &history.History{Events: []history.Event{
+		event(1, 0, value.Write(5), value.Done, 1, 2),
+		event(2, 0, value.Read(), value.None, 3, 4),
+	}}
+	_, err := lincheck.CheckObject(h, objects.NewRegister())
+	if !errors.Is(err, lincheck.ErrNotLinearizable) {
+		t.Fatalf("err = %v, want ErrNotLinearizable", err)
+	}
+}
+
+// TestNondeterministicSpecBranching checks the 2-SA extension: an
+// overlapping pair of proposes may see either order AND either stored
+// response.
+func TestNondeterministicSpecBranching(t *testing.T) {
+	t.Parallel()
+	// Both proposes overlap; p1 observes 2 — only explainable if p2's
+	// propose linearizes first and the object answers with the later
+	// value. The branching checker must find that.
+	h := &history.History{Events: []history.Event{
+		event(1, 0, value.Propose(1), 2, 1, 10),
+		event(2, 0, value.Propose(2), 2, 2, 9),
+	}}
+	if _, err := lincheck.CheckObject(h, objects.NewTwoSA()); err != nil {
+		t.Fatalf("branching linearization not found: %v", err)
+	}
+}
+
+// TestTwoSAImpossibleResponse checks an unstorable response is refuted.
+func TestTwoSAImpossibleResponse(t *testing.T) {
+	t.Parallel()
+	h := &history.History{Events: []history.Event{
+		event(1, 0, value.Propose(1), 9, 1, 2), // 9 was never proposed
+	}}
+	if _, err := lincheck.CheckObject(h, objects.NewTwoSA()); !errors.Is(err, lincheck.ErrNotLinearizable) {
+		t.Fatalf("err = %v, want ErrNotLinearizable", err)
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	t.Parallel()
+	res, err := lincheck.CheckObject(&history.History{}, objects.NewRegister())
+	if err != nil || len(res.Order) != 0 {
+		t.Fatalf("empty history: %v, %v", res, err)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	t.Parallel()
+	h := &history.History{}
+	for i := 0; i < lincheck.MaxEvents+1; i++ {
+		h.Events = append(h.Events, event(1, 0, value.Write(1), value.Done, int64(2*i), int64(2*i+1)))
+	}
+	if _, err := lincheck.CheckObject(h, objects.NewRegister()); !errors.Is(err, lincheck.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// stress runs `procs` goroutines, each performing `each` operations
+// produced by opFor against one recorded object, then asserts the
+// history is linearizable.
+func stress(t *testing.T, sp spec.Spec, procs, each int, opFor func(proc, i int) value.Op) {
+	t.Helper()
+	rec := history.NewRecorder()
+	obj := rec.Wrap(spec.NewAtomic(sp, spec.RotatingChooser()), 0)
+	var wg sync.WaitGroup
+	for p := 1; p <= procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := obj.Apply(p, opFor(p, i)); err != nil {
+					t.Errorf("proc %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := rec.History()
+	if h.Len() != procs*each {
+		t.Fatalf("recorded %d events, want %d", h.Len(), procs*each)
+	}
+	res, err := lincheck.CheckObject(h, sp)
+	if err != nil {
+		t.Fatalf("%s stress history not linearizable: %v", sp.Name(), err)
+	}
+	if len(res.Order) != h.Len() {
+		t.Fatalf("witness covers %d of %d events", len(res.Order), h.Len())
+	}
+}
+
+// The stress tests validate that the Atomic wrapper renders every
+// object type linearizable in real concurrent executions — the standing
+// assumption of the paper (§3).
+
+func TestStressRegister(t *testing.T) {
+	t.Parallel()
+	stress(t, objects.NewRegister(), 4, 6, func(p, i int) value.Op {
+		if (p+i)%2 == 0 {
+			return value.Write(value.Value(p*10 + i))
+		}
+		return value.Read()
+	})
+}
+
+func TestStressConsensus(t *testing.T) {
+	t.Parallel()
+	stress(t, objects.NewConsensus(4), 4, 3, func(p, i int) value.Op {
+		return value.Propose(value.Value(p))
+	})
+}
+
+func TestStressTwoSA(t *testing.T) {
+	t.Parallel()
+	stress(t, objects.NewTwoSA(), 4, 4, func(p, i int) value.Op {
+		return value.Propose(value.Value(p))
+	})
+}
+
+func TestStressPAC(t *testing.T) {
+	t.Parallel()
+	stress(t, core.NewPAC(4), 4, 4, func(p, i int) value.Op {
+		if i%2 == 0 {
+			return value.ProposeAt(value.Value(p), p)
+		}
+		return value.Decide(p)
+	})
+}
+
+func TestStressPACM(t *testing.T) {
+	t.Parallel()
+	stress(t, core.NewPACM(4, 3), 4, 4, func(p, i int) value.Op {
+		switch i % 3 {
+		case 0:
+			return value.ProposeP(value.Value(p), p)
+		case 1:
+			return value.DecideP(p)
+		default:
+			return value.ProposeC(value.Value(p))
+		}
+	})
+}
+
+func TestStressQueue(t *testing.T) {
+	t.Parallel()
+	stress(t, objects.NewQueue(), 3, 6, func(p, i int) value.Op {
+		if i%2 == 0 {
+			return value.Enqueue(value.Value(p*100 + i))
+		}
+		return value.Dequeue()
+	})
+}
+
+func TestStressCounter(t *testing.T) {
+	t.Parallel()
+	stress(t, objects.NewCounter(), 4, 6, func(p, i int) value.Op {
+		return value.FetchAdd(1)
+	})
+}
+
+// TestCheckSplitsPerObject checks the multi-object entry point.
+func TestCheckSplitsPerObject(t *testing.T) {
+	t.Parallel()
+	rec := history.NewRecorder()
+	reg := rec.Wrap(spec.NewAtomic(objects.NewRegister(), nil), 0)
+	cons := rec.Wrap(spec.NewAtomic(objects.NewConsensus(2), nil), 1)
+	if _, err := reg.Apply(1, value.Write(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cons.Apply(2, value.Propose(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Apply(2, value.Read()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lincheck.Check(rec.History(), map[int]spec.Spec{
+		0: objects.NewRegister(),
+		1: objects.NewConsensus(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d per-object results", len(res))
+	}
+}
+
+func TestCheckMissingSpec(t *testing.T) {
+	t.Parallel()
+	h := &history.History{Events: []history.Event{
+		event(1, 7, value.Read(), value.None, 1, 2),
+	}}
+	if _, err := lincheck.Check(h, map[int]spec.Spec{}); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+}

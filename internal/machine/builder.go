@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+
+	"setagree/internal/value"
+)
+
+// Builder assembles a Program with symbolic jump labels. Methods append
+// instructions; Build resolves labels and validates. The zero value is
+// not usable; use NewBuilder.
+type Builder struct {
+	name    string
+	numRegs int
+	instrs  []Instr
+	labels  map[string]int
+	fixups  map[int]string // instruction index -> unresolved label
+	err     error
+}
+
+// NewBuilder creates a builder for a program with the given register
+// file size.
+func NewBuilder(name string, numRegs int) *Builder {
+	return &Builder{
+		name:    name,
+		numRegs: numRegs,
+		labels:  make(map[string]int),
+		fixups:  make(map[int]string),
+	}
+}
+
+// Label defines a jump label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("%s: duplicate label %q: %w", b.name, name, ErrProgram)
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+func (b *Builder) emitJump(in Instr, label string) *Builder {
+	// Numeric labels are absolute instruction indices (the disassembler
+	// emits them), anything else is a symbolic label resolved at Build.
+	if target, err := strconv.Atoi(label); err == nil {
+		in.Target = target
+		return b.emit(in)
+	}
+	b.fixups[len(b.instrs)] = label
+	return b.emit(in)
+}
+
+// Invoke appends a shared-memory step: dst <- obj.method(arg, label).
+// Unused operands (per the method) may be zero Operands.
+func (b *Builder) Invoke(dst RegID, obj int, method value.Method, arg, label Operand) *Builder {
+	return b.emit(Instr{Kind: InstrInvoke, Dst: dst, Obj: obj, Method: method, A: arg, B: label})
+}
+
+// Set appends dst <- a.
+func (b *Builder) Set(dst RegID, a Operand) *Builder {
+	return b.emit(Instr{Kind: InstrSet, Dst: dst, A: a})
+}
+
+// Add appends dst <- a + b.
+func (b *Builder) Add(dst RegID, a, bo Operand) *Builder {
+	return b.emit(Instr{Kind: InstrAdd, Dst: dst, A: a, B: bo})
+}
+
+// Sub appends dst <- a - b.
+func (b *Builder) Sub(dst RegID, a, bo Operand) *Builder {
+	return b.emit(Instr{Kind: InstrSub, Dst: dst, A: a, B: bo})
+}
+
+// Jmp appends an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitJump(Instr{Kind: InstrJmp}, label)
+}
+
+// JEq appends "if a == b jump to label".
+func (b *Builder) JEq(a, bo Operand, label string) *Builder {
+	return b.emitJump(Instr{Kind: InstrJEq, A: a, B: bo}, label)
+}
+
+// JNe appends "if a != b jump to label".
+func (b *Builder) JNe(a, bo Operand, label string) *Builder {
+	return b.emitJump(Instr{Kind: InstrJNe, A: a, B: bo}, label)
+}
+
+// JLt appends "if a < b jump to label".
+func (b *Builder) JLt(a, bo Operand, label string) *Builder {
+	return b.emitJump(Instr{Kind: InstrJLt, A: a, B: bo}, label)
+}
+
+// Decide appends the terminal decide of value a.
+func (b *Builder) Decide(a Operand) *Builder {
+	return b.emit(Instr{Kind: InstrDecide, A: a})
+}
+
+// Abort appends the terminal abort action.
+func (b *Builder) Abort() *Builder {
+	return b.emit(Instr{Kind: InstrAbort})
+}
+
+// Halt appends the terminal halt action.
+func (b *Builder) Halt() *Builder {
+	return b.emit(Instr{Kind: InstrHalt})
+}
+
+// Build resolves labels, validates, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	instrs := make([]Instr, len(b.instrs))
+	copy(instrs, b.instrs)
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined label %q: %w", b.name, label, ErrProgram)
+		}
+		instrs[idx].Target = target
+	}
+	p := &Program{Name: b.name, Instrs: instrs, NumRegs: b.numRegs}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for statically known-correct programs (the
+// protocol library); it panics on builder misuse.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

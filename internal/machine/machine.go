@@ -1,0 +1,266 @@
+// Package machine implements the deterministic process model of the
+// paper's system (§1: "asynchronous processes may apply operations to
+// wait-free shared objects and fail by crashing").
+//
+// A process is a small register machine. Local instructions (moves,
+// arithmetic, branches) are free; a *step* in the paper's sense is a
+// single operation applied to a shared object (an Invoke instruction),
+// or the terminal decide/abort actions. Between shared steps a process
+// state is always *poised* at its next shared operation or terminated,
+// matching the configurations the bivalency proofs manipulate ("process
+// q is about to perform an operation on X").
+//
+// Programs are plain data, so the model checker (internal/explore) can
+// clone and hash process states, and the candidate enumerator
+// (internal/enumerate) can synthesize protocols.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"setagree/internal/value"
+)
+
+// MaxLocalSteps bounds the local instructions executed between two
+// shared-memory steps; exceeding it means the program has a local
+// infinite loop, which the asynchronous model does not admit (local
+// computation is finite between steps).
+const MaxLocalSteps = 100000
+
+// ErrProgram is wrapped by every program-level failure (bad register,
+// bad jump target, local loop, resuming a terminated process).
+var ErrProgram = errors.New("program error")
+
+// RegID names a machine register r0..r(NumRegs-1).
+type RegID uint8
+
+// Conventional register assignments used by the protocol library: at
+// start, R0 holds the process input and R1 holds the 1-based process
+// id. Programs are free to ignore the convention.
+const (
+	RegInput RegID = 0
+	RegID1   RegID = 1
+)
+
+// Operand is either a register reference or an immediate Value.
+type Operand struct {
+	// Const is the immediate value when IsReg is false.
+	Const value.Value
+	// Reg is the register when IsReg is true.
+	Reg RegID
+	// IsReg selects between the two variants.
+	IsReg bool
+}
+
+// R returns a register operand.
+func R(r RegID) Operand { return Operand{IsReg: true, Reg: r} }
+
+// C returns an immediate operand.
+func C(v value.Value) Operand { return Operand{Const: v} }
+
+// String renders the operand in assembly syntax.
+func (o Operand) String() string {
+	if o.IsReg {
+		return "r" + strconv.Itoa(int(o.Reg))
+	}
+	return o.Const.String()
+}
+
+// InstrKind enumerates the instruction set.
+type InstrKind uint8
+
+// The instruction set. Only InstrInvoke is a shared-memory step; all
+// others are local.
+const (
+	// InstrInvoke applies Op (with operand-filled argument/label) to
+	// shared object Obj and stores the response in Dst.
+	InstrInvoke InstrKind = iota + 1
+	// InstrSet stores operand A into Dst.
+	InstrSet
+	// InstrAdd stores A+B into Dst (sentinel operands are a program error).
+	InstrAdd
+	// InstrSub stores A-B into Dst.
+	InstrSub
+	// InstrJmp jumps unconditionally to Target.
+	InstrJmp
+	// InstrJEq jumps to Target if A == B.
+	InstrJEq
+	// InstrJNe jumps to Target if A != B.
+	InstrJNe
+	// InstrJLt jumps to Target if A < B (signed; sentinels compare as
+	// their underlying values and are a program error to use here).
+	InstrJLt
+	// InstrDecide terminates the process, deciding the value of A.
+	InstrDecide
+	// InstrAbort terminates the process by aborting (only the
+	// distinguished process of an n-DAC protocol may execute it).
+	InstrAbort
+	// InstrHalt terminates the process without deciding or aborting.
+	InstrHalt
+)
+
+// Instr is a single instruction.
+type Instr struct {
+	// A and B are the operands (see each InstrKind).
+	A, B Operand
+	// Method and Label/A shape the invoked operation for InstrInvoke:
+	// the operation is Op{Method, Arg: eval(A), Label: eval(B)}.
+	Method value.Method
+	// Obj is the shared-object index for InstrInvoke.
+	Obj int
+	// Target is the jump destination for the jump instructions.
+	Target int
+	// Dst is the destination register for Invoke/Set/Add/Sub.
+	Dst RegID
+	// Kind selects the instruction.
+	Kind InstrKind
+}
+
+// String renders the instruction in assembly syntax.
+func (in Instr) String() string {
+	switch in.Kind {
+	case InstrInvoke:
+		s := fmt.Sprintf("invoke r%d, obj%d, %s", in.Dst, in.Obj, in.Method)
+		if in.Method.TakesArg() {
+			s += ", " + in.A.String()
+		}
+		if in.Method.TakesLabel() {
+			s += ", " + in.B.String()
+		}
+		return s
+	case InstrSet:
+		return fmt.Sprintf("set r%d, %s", in.Dst, in.A)
+	case InstrAdd:
+		return fmt.Sprintf("add r%d, %s, %s", in.Dst, in.A, in.B)
+	case InstrSub:
+		return fmt.Sprintf("sub r%d, %s, %s", in.Dst, in.A, in.B)
+	case InstrJmp:
+		return fmt.Sprintf("jmp %d", in.Target)
+	case InstrJEq:
+		return fmt.Sprintf("jeq %s, %s, %d", in.A, in.B, in.Target)
+	case InstrJNe:
+		return fmt.Sprintf("jne %s, %s, %d", in.A, in.B, in.Target)
+	case InstrJLt:
+		return fmt.Sprintf("jlt %s, %s, %d", in.A, in.B, in.Target)
+	case InstrDecide:
+		return "decide " + in.A.String()
+	case InstrAbort:
+		return "abort"
+	case InstrHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("instr(%d)", in.Kind)
+	}
+}
+
+// Program is the code one process runs: a flat instruction list.
+// Protocols are one Program per process (programs may be shared between
+// processes when identical).
+type Program struct {
+	// Name labels the program in reports.
+	Name string
+	// Instrs is the instruction list; control starts at index 0.
+	Instrs []Instr
+	// NumRegs is the register file size (>= 2 for the conventions).
+	NumRegs int
+}
+
+// Validate checks static well-formedness: register and jump-target
+// ranges and method/operand agreement.
+func (p *Program) Validate() error {
+	if p.NumRegs < 1 || p.NumRegs > 64 {
+		return fmt.Errorf("%s: NumRegs %d out of range [1,64]: %w", p.Name, p.NumRegs, ErrProgram)
+	}
+	checkReg := func(i int, r RegID) error {
+		if int(r) >= p.NumRegs {
+			return fmt.Errorf("%s: instr %d: register r%d out of range: %w", p.Name, i, r, ErrProgram)
+		}
+		return nil
+	}
+	checkOp := func(i int, o Operand) error {
+		if o.IsReg {
+			return checkReg(i, o.Reg)
+		}
+		return nil
+	}
+	for i, in := range p.Instrs {
+		switch in.Kind {
+		case InstrInvoke:
+			if !in.Method.Valid() {
+				return fmt.Errorf("%s: instr %d: invalid method: %w", p.Name, i, ErrProgram)
+			}
+			if in.Obj < 0 {
+				return fmt.Errorf("%s: instr %d: negative object index: %w", p.Name, i, ErrProgram)
+			}
+			if err := checkReg(i, in.Dst); err != nil {
+				return err
+			}
+			if in.Method.TakesArg() {
+				if err := checkOp(i, in.A); err != nil {
+					return err
+				}
+			}
+			if in.Method.TakesLabel() {
+				if err := checkOp(i, in.B); err != nil {
+					return err
+				}
+			}
+		case InstrSet:
+			if err := checkReg(i, in.Dst); err != nil {
+				return err
+			}
+			if err := checkOp(i, in.A); err != nil {
+				return err
+			}
+		case InstrAdd, InstrSub:
+			if err := checkReg(i, in.Dst); err != nil {
+				return err
+			}
+			if err := checkOp(i, in.A); err != nil {
+				return err
+			}
+			if err := checkOp(i, in.B); err != nil {
+				return err
+			}
+		case InstrJmp:
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return fmt.Errorf("%s: instr %d: jump target %d out of range: %w", p.Name, i, in.Target, ErrProgram)
+			}
+		case InstrJEq, InstrJNe, InstrJLt:
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return fmt.Errorf("%s: instr %d: jump target %d out of range: %w", p.Name, i, in.Target, ErrProgram)
+			}
+			if err := checkOp(i, in.A); err != nil {
+				return err
+			}
+			if err := checkOp(i, in.B); err != nil {
+				return err
+			}
+		case InstrDecide:
+			if err := checkOp(i, in.A); err != nil {
+				return err
+			}
+		case InstrAbort, InstrHalt:
+			// no operands
+		default:
+			return fmt.Errorf("%s: instr %d: unknown kind %d: %w", p.Name, i, in.Kind, ErrProgram)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line with
+// absolute indices as targets.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		b.WriteString(strconv.Itoa(i))
+		b.WriteString(":\t")
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package machine_test
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"setagree/internal/machine"
+	"setagree/internal/value"
+)
+
+var indexPrefix = regexp.MustCompile(`(?m)^\d+:\t`)
+
+// reparse strips the disassembler's index column and reassembles.
+func reparse(t *testing.T, p *machine.Program) *machine.Program {
+	t.Helper()
+	src := indexPrefix.ReplaceAllString(p.Disassemble(), "")
+	out, err := machine.Parse(p.Name, src, p.NumRegs)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, src)
+	}
+	return out
+}
+
+// randomProgram synthesizes a valid random program.
+func randomProgram(rng *rand.Rand) *machine.Program {
+	n := 3 + rng.Intn(8)
+	instrs := make([]machine.Instr, 0, n+1)
+	randOperand := func() machine.Operand {
+		if rng.Intn(2) == 0 {
+			return machine.R(machine.RegID(rng.Intn(4)))
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return machine.C(value.Bottom)
+		case 1:
+			return machine.C(value.None)
+		default:
+			return machine.C(value.Value(rng.Intn(20) - 5))
+		}
+	}
+	methods := []value.Method{
+		value.MethodRead, value.MethodWrite, value.MethodPropose,
+		value.MethodProposeAt, value.MethodDecide, value.MethodProposeC,
+		value.MethodProposeP, value.MethodDecideP, value.MethodProposeK,
+		value.MethodEnqueue, value.MethodDequeue, value.MethodFetchAdd,
+		value.MethodTestAndSet,
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			instrs = append(instrs, machine.Instr{
+				Kind: machine.InstrSet, Dst: machine.RegID(rng.Intn(4)), A: randOperand(),
+			})
+		case 1:
+			instrs = append(instrs, machine.Instr{
+				Kind: machine.InstrAdd, Dst: machine.RegID(rng.Intn(4)),
+				A: randOperand(), B: randOperand(),
+			})
+		case 2:
+			instrs = append(instrs, machine.Instr{
+				Kind: machine.InstrSub, Dst: machine.RegID(rng.Intn(4)),
+				A: randOperand(), B: randOperand(),
+			})
+		case 3:
+			instrs = append(instrs, machine.Instr{
+				Kind: machine.InstrJmp, Target: rng.Intn(n + 1 - 1),
+			})
+		case 4:
+			kind := []machine.InstrKind{machine.InstrJEq, machine.InstrJNe, machine.InstrJLt}[rng.Intn(3)]
+			instrs = append(instrs, machine.Instr{
+				Kind: kind, A: randOperand(), B: randOperand(), Target: rng.Intn(n),
+			})
+		case 5:
+			instrs = append(instrs, machine.Instr{Kind: machine.InstrDecide, A: randOperand()})
+		case 6:
+			m := methods[rng.Intn(len(methods))]
+			in := machine.Instr{
+				Kind: machine.InstrInvoke, Dst: machine.RegID(rng.Intn(4)),
+				Obj: rng.Intn(3), Method: m,
+			}
+			if m.TakesArg() {
+				in.A = randOperand()
+			}
+			if m.TakesLabel() {
+				in.B = randOperand()
+			}
+			instrs = append(instrs, in)
+		default:
+			instrs = append(instrs, machine.Instr{Kind: machine.InstrHalt})
+		}
+	}
+	instrs = append(instrs, machine.Instr{Kind: machine.InstrHalt})
+	return &machine.Program{Name: "rand", Instrs: instrs, NumRegs: 4}
+}
+
+// TestDisassembleParseRoundTrip checks Disassemble ∘ Parse is the
+// identity on random valid programs (instruction-for-instruction).
+func TestDisassembleParseRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generator produced invalid program: %v", err)
+		}
+		q := reparse(t, p)
+		if len(q.Instrs) != len(p.Instrs) {
+			t.Fatalf("instruction count: %d -> %d", len(p.Instrs), len(q.Instrs))
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != q.Instrs[i] {
+				t.Fatalf("instr %d differs:\n  %v\n  %v\nsource:\n%s",
+					i, p.Instrs[i], q.Instrs[i], p.Disassemble())
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbsoluteJumpTargets pins the numeric-target syntax directly.
+func TestAbsoluteJumpTargets(t *testing.T) {
+	t.Parallel()
+	p, err := machine.Parse("abs", "set r0, 1\njmp 0\n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[1].Kind != machine.InstrJmp || p.Instrs[1].Target != 0 {
+		t.Fatalf("instr = %+v", p.Instrs[1])
+	}
+	// Out-of-range absolute targets are still rejected by validation.
+	if _, err := machine.Parse("abs", "jmp 7\n", 2); err == nil {
+		t.Fatal("out-of-range absolute target accepted")
+	}
+	if !strings.Contains(p.Disassemble(), "jmp 0") {
+		t.Fatal("disassembly")
+	}
+}

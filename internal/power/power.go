@@ -1,0 +1,236 @@
+// Package power implements set-agreement-power arithmetic (§1, §6).
+//
+// The set agreement power of an object O is the sequence
+// (n_1, n_2, ..., n_k, ...) where n_k is the largest number of processes
+// for which O and registers solve k-set agreement (∞ when unbounded).
+// For the strong set-agreement family the powers are known exactly: by
+// the Borowsky–Gafni simulation and the Chaudhuri–Reiners
+// characterization of the set-consensus partial order [2, 6], N
+// processes using (n,k)-SA objects and registers can solve K-set
+// agreement if and only if
+//
+//	K >= floor(N/n)*k + min(N mod n, k).
+//
+// With k = 1 (m-consensus objects) this gives K = ceil(N/m), hence the
+// k-set agreement number of the m-consensus object is n_k = k*m.
+package power
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"setagree/internal/core"
+	"setagree/internal/objects"
+)
+
+// Infinite is the n_k value for objects that solve k-set agreement
+// among any number of processes. It deliberately equals
+// objects.Unbounded so a power entry can parameterize an (n_k,k)-SA
+// component directly.
+const Infinite = objects.Unbounded
+
+// Sequence is a materializable set agreement power sequence.
+type Sequence interface {
+	core.Sequence
+	// Describe names the object the sequence belongs to.
+	Describe() string
+}
+
+type funcSeq struct {
+	at   func(k int) int
+	desc string
+}
+
+func (s funcSeq) At(k int) int     { return s.at(k) }
+func (s funcSeq) Describe() string { return s.desc }
+
+var _ Sequence = funcSeq{}
+
+// New wraps an arbitrary n_k function as a Sequence.
+func New(desc string, at func(k int) int) Sequence {
+	return funcSeq{at: at, desc: desc}
+}
+
+// MinAgreement returns the least K such that N processes can solve
+// K-set agreement using (n,k)-SA objects and registers: the
+// Chaudhuri–Reiners level formula floor(N/n)*k + min(N mod n, k),
+// capped at N because N processes always solve N-set agreement
+// trivially (each decides its own input). n == Infinite means the
+// object serves any number of processes, so K = min(N, k).
+func MinAgreement(n, k, procs int) int {
+	if procs <= 0 {
+		return 0
+	}
+	if n == Infinite {
+		if procs < k {
+			return procs
+		}
+		return k
+	}
+	r := procs % n
+	if r > k {
+		r = k
+	}
+	level := (procs/n)*k + r
+	if level > procs {
+		return procs
+	}
+	return level
+}
+
+// CanSolve reports whether N processes can solve K-set agreement using
+// (n,k)-SA objects and registers.
+func CanSolve(n, k, procs, bigK int) bool {
+	return MinAgreement(n, k, procs) <= bigK
+}
+
+// SA returns the set agreement power of the strong (n,k)-SA object:
+// its j-set agreement number is the largest N with
+// MinAgreement(n, k, N) <= j. MinAgreement is non-decreasing in N, and
+// the largest such N has the closed form
+//
+//	max(j, n*floor(j/k) + min(j mod k, n-1))
+//
+// (full groups of n processes each consume k agreement slots; leftover
+// slots admit leftover processes; and j processes are always admitted
+// trivially).
+func SA(n, k int) Sequence {
+	desc := objects.NewSetAgreement(n, k).Name()
+	return New(desc, func(j int) int {
+		if j < 1 {
+			return 0
+		}
+		if n == Infinite {
+			if j >= k {
+				return Infinite
+			}
+			return j
+		}
+		rem := j % k
+		if rem > n-1 {
+			rem = n - 1
+		}
+		best := (j/k)*n + rem
+		if best < j {
+			best = j
+		}
+		return best
+	})
+}
+
+// Consensus returns the set agreement power of the m-consensus object:
+// n_k = k*m.
+func Consensus(m int) Sequence {
+	desc := objects.NewConsensus(m).Name()
+	return New(desc, func(k int) int {
+		if k < 1 {
+			return 0
+		}
+		return k * m
+	})
+}
+
+// ObjectO returns the default concrete instantiation of the set
+// agreement power of O_n = (n+1,n)-PAC used throughout this
+// reproduction: n_1 = n (Observation 6.2) and n_k = k*n for k >= 2 (the
+// power of the embedded n-consensus component; the paper leaves the
+// exact tail abstract — DESIGN.md substitution 3).
+func ObjectO(n int) Sequence {
+	return New(core.ObjectO(n).Name(), Consensus(n).At)
+}
+
+// Max returns the pointwise maximum of sequences — the power of a
+// collection of objects used side by side (each level k is served by
+// whichever object is strongest there). Infinite entries dominate.
+func Max(desc string, seqs ...Sequence) Sequence {
+	return New(desc, func(k int) int {
+		best := 0
+		for _, s := range seqs {
+			v := s.At(k)
+			if v == Infinite {
+				return Infinite
+			}
+			if v > best {
+				best = v
+			}
+		}
+		return best
+	})
+}
+
+// Equal reports whether two sequences agree on levels 1..upTo.
+func Equal(a, b core.Sequence, upTo int) bool {
+	for k := 1; k <= upTo; k++ {
+		if a.At(k) != b.At(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether a's power is >= b's on every level 1..upTo.
+func Dominates(a, b core.Sequence, upTo int) bool {
+	for k := 1; k <= upTo; k++ {
+		av, bv := a.At(k), b.At(k)
+		if av == Infinite {
+			continue
+		}
+		if bv == Infinite || av < bv {
+			return false
+		}
+	}
+	return true
+}
+
+// Prefix materializes levels 1..upTo of a sequence.
+func Prefix(s core.Sequence, upTo int) []int {
+	out := make([]int, upTo)
+	for k := 1; k <= upTo; k++ {
+		out[k-1] = s.At(k)
+	}
+	return out
+}
+
+// Format renders a sequence prefix as "(n, 2n, 3n, ...)" with ∞ for
+// Infinite entries.
+func Format(s core.Sequence, upTo int) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for k := 1; k <= upTo; k++ {
+		if k > 1 {
+			b.WriteString(", ")
+		}
+		v := s.At(k)
+		if v == Infinite {
+			b.WriteString("∞")
+		} else {
+			b.WriteString(strconv.Itoa(v))
+		}
+	}
+	b.WriteString(", ...)")
+	return b.String()
+}
+
+// Table renders a consensus-hierarchy/power table for cmd/hierarchy.
+func Table(rows []Sequence, upTo int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s", "object")
+	for k := 1; k <= upTo; k++ {
+		fmt.Fprintf(&b, "  n_%d", k)
+	}
+	b.WriteByte('\n')
+	for _, s := range rows {
+		fmt.Fprintf(&b, "%-24s", s.Describe())
+		for k := 1; k <= upTo; k++ {
+			v := s.At(k)
+			if v == Infinite {
+				fmt.Fprintf(&b, "  %4s", "∞")
+			} else {
+				fmt.Fprintf(&b, "  %4d", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package power_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"setagree/internal/power"
+)
+
+func TestConsensusPower(t *testing.T) {
+	t.Parallel()
+	for _, m := range []int{1, 2, 3, 5} {
+		seq := power.Consensus(m)
+		for k := 1; k <= 6; k++ {
+			if got, want := seq.At(k), k*m; got != want {
+				t.Errorf("m=%d: n_%d = %d, want %d", m, k, got, want)
+			}
+		}
+	}
+}
+
+// TestMinAgreementFormula pins concrete values of the Chaudhuri–Reiners
+// level formula.
+func TestMinAgreementFormula(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ n, k, procs, want int }{
+		{2, 1, 2, 1}, // 2 procs, one 2-consensus: consensus
+		{2, 1, 3, 2}, // 3 procs, 2-consensus objects: best is 2-set agreement
+		{2, 1, 4, 2}, // 4 procs: two groups
+		{2, 1, 5, 3}, // ceil(5/2)
+		{3, 2, 3, 2}, // (3,2)-SA native
+		{3, 2, 6, 4}, // two full groups
+		{3, 2, 7, 5}, // 2*2 + min(1,2)
+		{3, 2, 8, 6}, // 2*2 + min(2,2)
+		{2, 5, 2, 2}, // k > n: capped at N (trivial)
+		{0, 2, 9, 2}, // unbounded 2-SA: always 2
+		{0, 2, 1, 1}, // one process: trivial
+		{4, 1, 0, 0}, // no processes
+	}
+	for _, tc := range cases {
+		if got := power.MinAgreement(tc.n, tc.k, tc.procs); got != tc.want {
+			t.Errorf("MinAgreement(%d,%d,%d) = %d, want %d", tc.n, tc.k, tc.procs, got, tc.want)
+		}
+	}
+}
+
+// TestSAPowerInvertsMinAgreement is the defining Galois property: At(j)
+// is the largest N with MinAgreement(n, k, N) <= j.
+func TestSAPowerInvertsMinAgreement(t *testing.T) {
+	t.Parallel()
+	f := func(nRaw, kRaw, jRaw uint8) bool {
+		n := 1 + int(nRaw%6)
+		k := 1 + int(kRaw%4)
+		j := 1 + int(jRaw%10)
+		best := power.SA(n, k).At(j)
+		if best == power.Infinite {
+			t.Fatalf("finite object (%d,%d) reported infinite power", n, k)
+		}
+		if power.MinAgreement(n, k, best) > j {
+			t.Errorf("(%d,%d): At(%d)=%d but MinAgreement=%d > j",
+				n, k, j, best, power.MinAgreement(n, k, best))
+		}
+		if power.MinAgreement(n, k, best+1) <= j {
+			t.Errorf("(%d,%d): At(%d)=%d not maximal (N+1 also solves)",
+				n, k, j, best)
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSAUnboundedPower(t *testing.T) {
+	t.Parallel()
+	twoSA := power.SA(power.Infinite, 2)
+	if got := twoSA.At(1); got != 1 {
+		t.Errorf("2-SA consensus number = %d, want 1", got)
+	}
+	for j := 2; j <= 5; j++ {
+		if got := twoSA.At(j); got != power.Infinite {
+			t.Errorf("2-SA n_%d = %d, want ∞", j, got)
+		}
+	}
+}
+
+// TestConsensusEqualsSAK1 cross-checks the two derivations: the
+// m-consensus object is the (m,1)-SA object.
+func TestConsensusEqualsSAK1(t *testing.T) {
+	t.Parallel()
+	for m := 1; m <= 5; m++ {
+		if !power.Equal(power.Consensus(m), power.SA(m, 1), 8) {
+			t.Errorf("Consensus(%d) != SA(%d,1): %s vs %s", m, m,
+				power.Format(power.Consensus(m), 8), power.Format(power.SA(m, 1), 8))
+		}
+	}
+}
+
+func TestObjectOPower(t *testing.T) {
+	t.Parallel()
+	seq := power.ObjectO(3)
+	if seq.At(1) != 3 {
+		t.Errorf("n_1 = %d, want 3 (Observation 6.2)", seq.At(1))
+	}
+	if !strings.Contains(seq.Describe(), "(4,3)-PAC") {
+		t.Errorf("Describe() = %q", seq.Describe())
+	}
+}
+
+func TestCanSolve(t *testing.T) {
+	t.Parallel()
+	if !power.CanSolve(2, 1, 4, 2) {
+		t.Error("4 procs with 2-consensus must solve 2-set agreement")
+	}
+	if power.CanSolve(2, 1, 5, 2) {
+		t.Error("5 procs with 2-consensus must not solve 2-set agreement")
+	}
+}
+
+func TestMaxSequence(t *testing.T) {
+	t.Parallel()
+	m := power.Max("combo", power.Consensus(2), power.SA(power.Infinite, 2))
+	if got := m.At(1); got != 2 {
+		t.Errorf("combo n_1 = %d, want 2", got)
+	}
+	if got := m.At(3); got != power.Infinite {
+		t.Errorf("combo n_3 = %d, want ∞", got)
+	}
+	if m.Describe() != "combo" {
+		t.Errorf("Describe() = %q", m.Describe())
+	}
+}
+
+func TestEqualAndDominates(t *testing.T) {
+	t.Parallel()
+	a, b := power.Consensus(3), power.Consensus(2)
+	if power.Equal(a, b, 5) {
+		t.Error("Consensus(3) == Consensus(2)?")
+	}
+	if !power.Dominates(a, b, 5) {
+		t.Error("Consensus(3) must dominate Consensus(2)")
+	}
+	if power.Dominates(b, a, 5) {
+		t.Error("Consensus(2) must not dominate Consensus(3)")
+	}
+	inf := power.SA(power.Infinite, 2)
+	if power.Dominates(a, inf, 5) {
+		t.Error("finite sequence dominating an infinite one")
+	}
+}
+
+func TestPrefixAndFormat(t *testing.T) {
+	t.Parallel()
+	got := power.Prefix(power.Consensus(2), 4)
+	want := []int{2, 4, 6, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Prefix = %v", got)
+		}
+	}
+	s := power.Format(power.SA(power.Infinite, 2), 3)
+	if s != "(1, ∞, ∞, ...)" {
+		t.Errorf("Format = %q", s)
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	t.Parallel()
+	tbl := power.Table([]power.Sequence{power.Consensus(2), power.SA(power.Infinite, 2)}, 3)
+	for _, want := range []string{"2-consensus", "2-SA", "n_1", "∞"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

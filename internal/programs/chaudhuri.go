@@ -1,0 +1,76 @@
+package programs
+
+import (
+	"strconv"
+
+	"setagree/internal/machine"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// chaudhuriInfinity is the initial minimum accumulator; inputs must be
+// smaller.
+const chaudhuriInfinity = value.Value(1) << 62
+
+// ChaudhuriKSet is Chaudhuri's f-resilient k-set agreement protocol
+// from registers alone ([5], the paper's reference for the k-set
+// agreement problem): process i writes its input to register i, then
+// repeatedly collects all N registers until at least N-k+1 inputs are
+// visible, and decides the minimum value seen.
+//
+// Safety: any two collects of N-k+1 inputs intersect in at least
+// N-2(k-1) >= 1 positions... more simply, the minimum over any
+// (N-k+1)-subset of inputs is one of the k smallest inputs, so at most
+// k distinct values are decided. Termination holds whenever at most
+// k-1 processes crash (then N-k+1 registers eventually fill) — i.e.
+// the protocol solves task.ResilientKSet{N, K: k, F: k-1}, and the
+// waiting loop is exactly why it does NOT tolerate k crashes (the
+// BG/HS/SZ impossibility).
+func ChaudhuriKSet(n, k int) Protocol {
+	progs := make([]*machine.Program, n)
+	for i := 1; i <= n; i++ {
+		progs[i-1] = chaudhuriProgram(n, k, i)
+	}
+	objs := make([]spec.Spec, n)
+	for j := range objs {
+		objs[j] = objects.NewRegister()
+	}
+	return Protocol{
+		Name: strconv.Itoa(k-1) + "-resilient (" + strconv.Itoa(n) + "," + strconv.Itoa(k) +
+			")-set agreement from registers (Chaudhuri)",
+		Programs: progs,
+		Objects:  objs,
+	}
+}
+
+// chaudhuriProgram emits the unrolled collect loop for process i.
+func chaudhuriProgram(n, k, i int) *machine.Program {
+	const (
+		regAckW  machine.RegID = 2
+		regRead  machine.RegID = 3
+		regCount machine.RegID = 4
+		regMin   machine.RegID = 5
+	)
+	b := machine.NewBuilder("chaudhuri-p"+strconv.Itoa(i), 6)
+	// Announce the input in our own register.
+	b.Invoke(regAckW, i-1, value.MethodWrite, machine.R(machine.RegInput), machine.Operand{})
+	b.Label("collect")
+	b.Set(regCount, machine.C(0))
+	b.Set(regMin, machine.C(chaudhuriInfinity))
+	for j := 0; j < n; j++ {
+		js := strconv.Itoa(j)
+		b.Invoke(regRead, j, value.MethodRead, machine.Operand{}, machine.Operand{})
+		b.JEq(machine.R(regRead), machine.C(value.None), "skip"+js)
+		b.Add(regCount, machine.R(regCount), machine.C(1))
+		b.JLt(machine.R(regRead), machine.R(regMin), "newmin"+js)
+		b.Jmp("skip" + js)
+		b.Label("newmin" + js)
+		b.Set(regMin, machine.R(regRead))
+		b.Label("skip" + js)
+	}
+	// Enough inputs visible?
+	b.JLt(machine.R(regCount), machine.C(value.Value(n-k+1)), "collect")
+	b.Decide(machine.R(regMin))
+	return b.MustBuild()
+}

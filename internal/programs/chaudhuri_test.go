@@ -1,0 +1,125 @@
+package programs_test
+
+import (
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// TestChaudhuriSolvesResilientKSet verifies Chaudhuri's protocol [5]
+// exhaustively for small instances: (k-1)-resilient k-set agreement
+// among n processes from registers alone.
+func TestChaudhuriSolvesResilientKSet(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ n, k int }{
+		{2, 2}, {3, 2}, {3, 3}, {4, 3},
+	}
+	for _, tc := range cases {
+		prot := programs.ChaudhuriKSet(tc.n, tc.k)
+		tsk := task.ResilientKSet{N: tc.n, K: tc.k, F: tc.k - 1}
+		for _, in := range [][]value.Value{distinctInputs(tc.n), sim.Inputs(tc.n, 3, 5)} {
+			rep := check(t, prot, tsk, in, explore.Options{})
+			if !rep.Solved() {
+				t.Fatalf("n=%d k=%d inputs=%v: %v", tc.n, tc.k, in, rep.Violations[0])
+			}
+		}
+	}
+}
+
+// TestChaudhuriConsensusZeroResilient: the k = 1 case is 0-resilient
+// consensus (wait for all inputs, decide the minimum) — correct as long
+// as nobody crashes.
+func TestChaudhuriConsensusZeroResilient(t *testing.T) {
+	t.Parallel()
+	prot := programs.ChaudhuriKSet(3, 1)
+	rep := check(t, prot, task.ResilientKSet{N: 3, K: 1, F: 0}, distinctInputs(3), explore.Options{})
+	if !rep.Solved() {
+		t.Fatalf("0-resilient consensus refuted: %v", rep.Violations[0])
+	}
+}
+
+// TestChaudhuriNotKResilient is the tightness half (the BG/HS/SZ
+// impossibility's shape): the same protocol demanded to tolerate k
+// crashes has a termination violation — the collect loop waits for
+// N-k+1 inputs that k crashed processes never write.
+func TestChaudhuriNotKResilient(t *testing.T) {
+	t.Parallel()
+	const n, k = 3, 2
+	prot := programs.ChaudhuriKSet(n, k)
+	rep := check(t, prot, task.ResilientKSet{N: n, K: k, F: k}, distinctInputs(n), explore.Options{})
+	if rep.Solved() {
+		t.Fatal("protocol claimed to tolerate k crashes")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == explore.ViolationWaitFree && len(v.Cycle) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no termination violation with cycle witness: %v", rep.Violations)
+	}
+}
+
+// TestChaudhuriDecidesKSmallest pins the mechanism: with distinct
+// inputs, every decision is among the k smallest inputs.
+func TestChaudhuriDecidesKSmallest(t *testing.T) {
+	t.Parallel()
+	const n, k = 4, 2
+	prot := programs.ChaudhuriKSet(n, k)
+	inputs := []value.Value{40, 10, 30, 20}
+	for seed := uint64(1); seed <= 100; seed++ {
+		sys, err := prot.System(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sys, task.ResilientKSet{N: n, K: k, F: k - 1}, sim.Random(seed),
+			sim.Options{MaxSteps: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatal(res.Violation)
+		}
+		for i := range res.Outcome.Decided {
+			if !res.Outcome.Decided[i] {
+				continue
+			}
+			d := res.Outcome.Decisions[i]
+			if d != 10 && d != 20 {
+				t.Fatalf("seed %d: process %d decided %s, not among the 2 smallest", seed, i+1, d)
+			}
+		}
+	}
+}
+
+// TestChaudhuriSurvivesCrashes injects k-1 crashes in the simulator;
+// every surviving process still decides.
+func TestChaudhuriSurvivesCrashes(t *testing.T) {
+	t.Parallel()
+	const n, k = 4, 3
+	prot := programs.ChaudhuriKSet(n, k)
+	sys, err := prot.System(distinctInputs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sys, task.ResilientKSet{N: n, K: k, F: k - 1}, sim.Random(5), sim.Options{
+		MaxSteps: 1 << 14,
+		CrashAt:  map[int]int{0: 0, 1: 2}, // crash two processes (k-1 = 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	for i := 2; i < n; i++ {
+		if !res.Outcome.Decided[i] {
+			t.Fatalf("survivor %d undecided", i+1)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package programs
+
+import (
+	"strconv"
+
+	"setagree/internal/core"
+	"setagree/internal/machine"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// This file holds natural-but-doomed candidate protocols. None of them
+// can work — the paper's impossibility theorems say so — and the model
+// checker produces the concrete counterexample runs. They serve as
+// executable illustrations of Theorems 4.2, 5.2, and 7.1 and as
+// regression anchors for the checker itself.
+
+// NaiveTwoSAConsensus attempts consensus among procs >= 2 processes by
+// proposing to a single 2-SA object and deciding the response. It fails
+// Agreement: the 2-SA object may answer with two distinct values
+// (illustrates why 2-SA does not raise consensus power, cf. Theorem 4.2
+// using 2-SA objects without gaining consensus strength).
+func NaiveTwoSAConsensus(procs int) Protocol {
+	prog := proposeDecide("naive-2sa-consensus", value.MethodPropose, 0, 0)
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return Protocol{
+		Name:     strconv.Itoa(procs) + "-consensus attempt from 2-SA (flawed)",
+		Programs: progs,
+		Objects:  []spec.Spec{objects.NewTwoSA()},
+	}
+}
+
+// OverSubscribedConsensus attempts consensus among m+1 processes with
+// one m-consensus object, with the (m+1)-th response ⊥ handled by a
+// register handoff: a process that receives a value writes it to a
+// register and decides it; a process that receives ⊥ spins on the
+// register. It fails wait-freedom — the spinner's solo run never
+// decides (illustrates the negative half of the consensus hierarchy and
+// the shape of Theorem 5.2's conclusion).
+func OverSubscribedConsensus(m int) Protocol {
+	prog := machine.NewBuilder("oversubscribed-consensus", numRegs).
+		Invoke(regTemp, 0, value.MethodPropose, machine.R(machine.RegInput), machine.Operand{}).
+		JEq(machine.R(regTemp), machine.C(value.Bottom), "lost").
+		Invoke(regAck, 1, value.MethodWrite, machine.R(regTemp), machine.Operand{}).
+		Decide(machine.R(regTemp)).
+		Label("lost").
+		Invoke(regTemp, 1, value.MethodRead, machine.Operand{}, machine.Operand{}).
+		JEq(machine.R(regTemp), machine.C(value.None), "lost").
+		Decide(machine.R(regTemp)).
+		MustBuild()
+	progs := make([]*machine.Program, m+1)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return Protocol{
+		Name:     strconv.Itoa(m+1) + "-consensus attempt from " + objects.NewConsensus(m).Name() + " (flawed)",
+		Programs: progs,
+		Objects:  []spec.Spec{objects.NewConsensus(m), objects.NewRegister()},
+	}
+}
+
+// DACFromConsensusAndTwoSA attempts the (n+1)-DAC problem using an
+// n-consensus object, a register, and a 2-SA object — exactly the base
+// Theorem 4.2 proves insufficient. The distinguished process p proposes
+// to the n-consensus object and aborts on ⊥; the others propose and, on
+// ⊥, fall back to the 2-SA object. It fails Agreement (the 2-SA path
+// can return a second value) or Validity, and the checker exhibits the
+// run.
+func DACFromConsensusAndTwoSA(n int, p int) Protocol {
+	procs := n + 1
+	distinguished := machine.NewBuilder("dac-attempt-distinguished", numRegs).
+		Invoke(regTemp, 0, value.MethodPropose, machine.R(machine.RegInput), machine.Operand{}).
+		JEq(machine.R(regTemp), machine.C(value.Bottom), "abort").
+		Decide(machine.R(regTemp)).
+		Label("abort").
+		Abort().
+		MustBuild()
+	other := machine.NewBuilder("dac-attempt-other", numRegs).
+		Invoke(regTemp, 0, value.MethodPropose, machine.R(machine.RegInput), machine.Operand{}).
+		JEq(machine.R(regTemp), machine.C(value.Bottom), "fallback").
+		Decide(machine.R(regTemp)).
+		Label("fallback").
+		Invoke(regTemp, 1, value.MethodPropose, machine.R(machine.RegInput), machine.Operand{}).
+		Decide(machine.R(regTemp)).
+		MustBuild()
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		if i+1 == p {
+			progs[i] = distinguished
+		} else {
+			progs[i] = other
+		}
+	}
+	return Protocol{
+		Name:     strconv.Itoa(procs) + "-DAC attempt from n-consensus + 2-SA (flawed)",
+		Programs: progs,
+		Objects:  []spec.Spec{objects.NewConsensus(n), objects.NewTwoSA()},
+	}
+}
+
+// UpsettingAlgorithm2 is Algorithm 2 with the distinguished process
+// erroneously proposing twice in a row with its own label, upsetting
+// the n-PAC object (Lemma 3.2) and aborting even in solo runs — a
+// Nontriviality violation the checker catches. It doubles as a
+// regression test that the PAC spec's upset machinery matches §3.
+func UpsettingAlgorithm2(n, p int) Protocol {
+	base := Algorithm2(n, p)
+	distinguished := machine.NewBuilder("alg2-upsetting-distinguished", numRegs).
+		Invoke(regAck, 0, value.MethodProposeAt, machine.R(machine.RegInput), machine.R(machine.RegID1)).
+		Invoke(regAck, 0, value.MethodProposeAt, machine.R(machine.RegInput), machine.R(machine.RegID1)).
+		Invoke(regTemp, 0, value.MethodDecide, machine.Operand{}, machine.R(machine.RegID1)).
+		JEq(machine.R(regTemp), machine.C(value.Bottom), "abort").
+		Decide(machine.R(regTemp)).
+		Label("abort").
+		Abort().
+		MustBuild()
+	progs := make([]*machine.Program, n)
+	copy(progs, base.Programs)
+	progs[p-1] = distinguished
+	return Protocol{
+		Name:     strconv.Itoa(n) + "-DAC via Algorithm 2 with double propose (flawed)",
+		Programs: progs,
+		Objects:  []spec.Spec{core.NewPAC(n)},
+	}
+}

@@ -1,0 +1,6 @@
+package programs_test
+
+import "setagree/internal/core"
+
+// corepkgOPrime builds the default O'_n spec (n_k = k·n).
+func corepkgOPrime(n int) core.OPrime { return core.NewOPrime(n, nil) }

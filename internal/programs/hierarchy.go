@@ -1,0 +1,108 @@
+package programs
+
+import (
+	"strconv"
+
+	"setagree/internal/core"
+	"setagree/internal/machine"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// This file holds the classic consensus-hierarchy protocols of Herlihy
+// [10] used to calibrate the hierarchy experiments (the paper's setting
+// is this hierarchy, §1) and the Theorem 7.1 instance.
+
+// ConsensusFromQueue solves 2-consensus with a FIFO queue pre-loaded
+// with one token plus two single-writer registers — Herlihy's classic
+// proof that the queue is at level >= 2 of the hierarchy. Process i
+// announces its input in register obj_i, then dequeues: the process
+// that receives the token decides its own input; the other decides the
+// announced input of the winner.
+func ConsensusFromQueue() Protocol {
+	const token = 99
+	mk := func(self, other int) *machine.Program {
+		return machine.NewBuilder("consensus-queue-p"+strconv.Itoa(self), 6).
+			Invoke(2, self, value.MethodWrite, machine.R(machine.RegInput), machine.Operand{}).
+			Invoke(3, 0, value.MethodDequeue, machine.Operand{}, machine.Operand{}).
+			JEq(machine.R(3), machine.C(value.None), "lost").
+			Decide(machine.R(machine.RegInput)).
+			Label("lost").
+			Invoke(4, other, value.MethodRead, machine.Operand{}, machine.Operand{}).
+			Decide(machine.R(4)).
+			MustBuild()
+	}
+	return Protocol{
+		Name: "2-consensus from one-token queue + registers",
+		Programs: []*machine.Program{
+			mk(1, 2),
+			mk(2, 1),
+		},
+		Objects: []spec.Spec{
+			objects.NewQueueWith(token),
+			objects.NewRegister(),
+			objects.NewRegister(),
+		},
+	}
+}
+
+// ConsensusFromTAS solves 2-consensus with a test&set bit plus two
+// registers: the TAS winner (prior value 0) decides its own input, the
+// loser adopts the winner's announced input.
+func ConsensusFromTAS() Protocol {
+	mk := func(self, other int) *machine.Program {
+		return machine.NewBuilder("consensus-tas-p"+strconv.Itoa(self), 6).
+			Invoke(2, self, value.MethodWrite, machine.R(machine.RegInput), machine.Operand{}).
+			Invoke(3, 0, value.MethodTestAndSet, machine.Operand{}, machine.Operand{}).
+			JNe(machine.R(3), machine.C(0), "lost").
+			Decide(machine.R(machine.RegInput)).
+			Label("lost").
+			Invoke(4, other, value.MethodRead, machine.Operand{}, machine.Operand{}).
+			Decide(machine.R(4)).
+			MustBuild()
+	}
+	return Protocol{
+		Name: "2-consensus from test&set + registers",
+		Programs: []*machine.Program{
+			mk(1, 2),
+			mk(2, 1),
+		},
+		Objects: []spec.Spec{
+			objects.NewTestAndSet(),
+			objects.NewRegister(),
+			objects.NewRegister(),
+		},
+	}
+}
+
+// ConsensusFromSticky solves consensus among any number of processes
+// with the sticky (∞,1)-SA object: propose, decide the response.
+func ConsensusFromSticky(procs int) Protocol {
+	prog := proposeDecide("consensus-sticky", value.MethodPropose, 0, 0)
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return Protocol{
+		Name:     strconv.Itoa(procs) + "-consensus from sticky consensus",
+		Programs: progs,
+		Objects:  []spec.Spec{objects.Sticky()},
+	}
+}
+
+// Algorithm2ViaPACM runs Algorithm 2 against the PAC face of an
+// (n,m)-PAC object (Observation 5.1(b)): the (n,m)-PAC solves the n-DAC
+// problem regardless of m. With n = procs = labels and m < n this is
+// the object of Theorem 7.1 — a deterministic object at level m that
+// solves a problem (n-DAC) unsolvable from (n-1)-consensus objects and
+// registers.
+func Algorithm2ViaPACM(n, m, p int) Protocol {
+	base := Algorithm2(n, p)
+	face := core.NewPACFace(core.NewPACM(n, m))
+	return Protocol{
+		Name:     strconv.Itoa(n) + "-DAC via Algorithm 2 over " + face.Name(),
+		Programs: base.Programs,
+		Objects:  []spec.Spec{face},
+	}
+}

@@ -1,0 +1,89 @@
+package programs_test
+
+import (
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/objects"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// TestConsensusFromQueueExhaustive verifies Herlihy's classic level-2
+// protocol: a one-token queue plus registers solves 2-consensus, on
+// every input vector and every schedule.
+func TestConsensusFromQueueExhaustive(t *testing.T) {
+	t.Parallel()
+	prot := programs.ConsensusFromQueue()
+	for _, in := range [][]value.Value{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {7, 9}} {
+		requireSolved(t, prot, task.Consensus{N: 2}, in)
+	}
+}
+
+// TestConsensusFromTASExhaustive does the same for test&set.
+func TestConsensusFromTASExhaustive(t *testing.T) {
+	t.Parallel()
+	prot := programs.ConsensusFromTAS()
+	for _, in := range [][]value.Value{{0, 1}, {1, 0}, {4, 5}} {
+		requireSolved(t, prot, task.Consensus{N: 2}, in)
+	}
+}
+
+// TestConsensusFromStickyExhaustive verifies the consensus-number-∞
+// object solves consensus among several processes.
+func TestConsensusFromStickyExhaustive(t *testing.T) {
+	t.Parallel()
+	for procs := 2; procs <= 4; procs++ {
+		prot := programs.ConsensusFromSticky(procs)
+		requireSolved(t, prot, task.Consensus{N: procs}, distinctInputs(procs))
+	}
+}
+
+// TestAlgorithm2ViaPACMExhaustive is experiment E8 (Theorem 7.1's
+// positive half, via Observation 5.1(b)): the (n,m)-PAC object solves
+// the n-DAC problem through its PAC face — for every m, including
+// m < n-1 where Theorem 7.1 places the object strictly below the
+// consensus power the problem would otherwise require.
+func TestAlgorithm2ViaPACMExhaustive(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ n, m int }{{3, 2}, {3, 3}, {2, 2}} {
+		prot := programs.Algorithm2ViaPACM(tc.n, tc.m, 1)
+		for _, in := range [][]value.Value{sim.Inputs(tc.n, 1, 0), sim.Inputs(tc.n, 0, 1)} {
+			sys, err := prot.System(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := explore.Check(sys, task.DAC{N: tc.n, P: 0}, explore.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Solved() {
+				t.Fatalf("n=%d m=%d inputs=%v: %v", tc.n, tc.m, in, rep.Violations[0])
+			}
+		}
+	}
+}
+
+// TestQueueWithoutTokenFails is the control: with an EMPTY queue the
+// same protocol cannot break symmetry — both processes "lose", adopt
+// each other's announcement, and the checker finds the violation.
+func TestQueueWithoutTokenFails(t *testing.T) {
+	t.Parallel()
+	prot := programs.ConsensusFromQueue()
+	broken := programs.Protocol{
+		Name:     prot.Name + " (no token)",
+		Programs: prot.Programs,
+		Objects: []spec.Spec{
+			objects.NewQueue(), // empty: no token to win
+			objects.NewRegister(),
+			objects.NewRegister(),
+		},
+	}
+	rep := check(t, broken, task.Consensus{N: 2}, []value.Value{0, 1}, explore.Options{})
+	if rep.Solved() {
+		t.Fatal("tokenless queue protocol reported as correct")
+	}
+}

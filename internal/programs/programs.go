@@ -1,0 +1,257 @@
+// Package programs is the protocol library: the paper's Algorithm 2 and
+// the positive-direction protocols of §§5–6 expressed as machine
+// programs, plus a set of natural-but-flawed candidate protocols whose
+// refutation by the model checker illustrates the impossibility
+// theorems' claims.
+//
+// Register conventions: r0 = input, r1 = 1-based process id; r2 and r3
+// are scratch.
+package programs
+
+import (
+	"fmt"
+	"strconv"
+
+	"setagree/internal/core"
+	"setagree/internal/explore"
+	"setagree/internal/machine"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// Protocol bundles per-process programs with the shared objects they
+// run against. Inputs are supplied per instance via System.
+type Protocol struct {
+	// Name labels the protocol in reports.
+	Name string
+	// Programs holds one program per process (entries may alias).
+	Programs []*machine.Program
+	// Objects are the shared objects.
+	Objects []spec.Spec
+}
+
+// Procs returns the number of processes.
+func (p Protocol) Procs() int { return len(p.Programs) }
+
+// System instantiates the protocol on concrete inputs.
+func (p Protocol) System(inputs []value.Value) (*explore.System, error) {
+	if len(inputs) != len(p.Programs) {
+		return nil, fmt.Errorf("%s: %d inputs for %d processes: %w",
+			p.Name, len(inputs), len(p.Programs), machine.ErrProgram)
+	}
+	in := make([]value.Value, len(inputs))
+	copy(in, inputs)
+	return &explore.System{Programs: p.Programs, Objects: p.Objects, Inputs: in}, nil
+}
+
+// scratch registers used by the library's programs.
+const (
+	regAck  machine.RegID = 2
+	regTemp machine.RegID = 3
+)
+
+const numRegs = 4
+
+// Algorithm2 is the paper's Algorithm 2: solving the n-DAC problem with
+// a single n-PAC object D (obj0). Process p (1-based) is the
+// distinguished process; it tries once and aborts on ⊥. Every other
+// process retries its propose/decide pair until the decide returns a
+// value.
+func Algorithm2(n, p int) Protocol {
+	distinguished := machine.NewBuilder("alg2-distinguished", numRegs).
+		Invoke(regAck, 0, value.MethodProposeAt, machine.R(machine.RegInput), machine.R(machine.RegID1)). // line 1
+		Invoke(regTemp, 0, value.MethodDecide, machine.Operand{}, machine.R(machine.RegID1)).             // line 2
+		JEq(machine.R(regTemp), machine.C(value.Bottom), "abort").                                        // line 3
+		Decide(machine.R(regTemp)).                                                                       // line 4
+		Label("abort").
+		Abort(). // line 5
+		MustBuild()
+
+	other := machine.NewBuilder("alg2-other", numRegs).
+		Label("loop").                                                                                    // line 6
+		Invoke(regAck, 0, value.MethodProposeAt, machine.R(machine.RegInput), machine.R(machine.RegID1)). // line 7
+		Invoke(regTemp, 0, value.MethodDecide, machine.Operand{}, machine.R(machine.RegID1)).             // line 8
+		JNe(machine.R(regTemp), machine.C(value.Bottom), "win").                                          // line 9
+		Jmp("loop").
+		Label("win").
+		Decide(machine.R(regTemp)). // lines 10-11
+		MustBuild()
+
+	progs := make([]*machine.Program, n)
+	for i := range progs {
+		if i+1 == p {
+			progs[i] = distinguished
+		} else {
+			progs[i] = other
+		}
+	}
+	return Protocol{
+		Name:     strconv.Itoa(n) + "-DAC via Algorithm 2",
+		Programs: progs,
+		Objects:  []spec.Spec{core.NewPAC(n)},
+	}
+}
+
+// proposeDecide builds the one-shot "propose to obj0 with method m,
+// decide the response" program used by several positive protocols.
+func proposeDecide(name string, m value.Method, label int, obj int) *machine.Program {
+	b := machine.NewBuilder(name, numRegs)
+	if m.TakesLabel() {
+		b.Invoke(regTemp, obj, m, machine.R(machine.RegInput), machine.C(value.Value(label)))
+	} else {
+		b.Invoke(regTemp, obj, m, machine.R(machine.RegInput), machine.Operand{})
+	}
+	b.Decide(machine.R(regTemp))
+	return b.MustBuild()
+}
+
+// ConsensusFromPACM solves consensus among procs <= m processes with a
+// single (n,m)-PAC object: every process redirects PROPOSEC(v) to the
+// embedded m-consensus component and decides the response (the positive
+// half of Theorem 5.3, via Observation 5.1(c)).
+func ConsensusFromPACM(n, m, procs int) Protocol {
+	prog := proposeDecide("consensus-from-(n,m)-PAC", value.MethodProposeC, 0, 0)
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return Protocol{
+		Name:     strconv.Itoa(procs) + "-consensus from " + core.NewPACM(n, m).Name(),
+		Programs: progs,
+		Objects:  []spec.Spec{core.NewPACM(n, m)},
+	}
+}
+
+// ConsensusFromObject solves consensus among procs <= m processes with
+// one m-consensus object.
+func ConsensusFromObject(m, procs int) Protocol {
+	prog := proposeDecide("consensus-direct", value.MethodPropose, 0, 0)
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return Protocol{
+		Name:     strconv.Itoa(procs) + "-consensus from " + objects.NewConsensus(m).Name(),
+		Programs: progs,
+		Objects:  []spec.Spec{objects.NewConsensus(m)},
+	}
+}
+
+// KSetFromSA solves k-set agreement among procs processes with a single
+// strong (n,k)-SA object (procs <= n, or any procs when n is
+// objects.Unbounded): propose, decide the response.
+func KSetFromSA(n, k, procs int) Protocol {
+	prog := proposeDecide("kset-from-sa", value.MethodPropose, 0, 0)
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	sa := objects.NewSetAgreement(n, k)
+	return Protocol{
+		Name:     "(" + strconv.Itoa(procs) + "," + strconv.Itoa(k) + ")-set agreement from " + sa.Name(),
+		Programs: progs,
+		Objects:  []spec.Spec{sa},
+	}
+}
+
+// KSetFromOPrime solves k-set agreement among procs <= n_k processes
+// with one O'_n object: PROPOSE(v, k), decide the response (§6: O'_n
+// has n_k as its k-set agreement number by construction).
+func KSetFromOPrime(oprime core.OPrime, k, procs int) Protocol {
+	prog := proposeDecide("kset-from-oprime", value.MethodProposeK, k, 0)
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return Protocol{
+		Name:     "(" + strconv.Itoa(procs) + "," + strconv.Itoa(k) + ")-set agreement from " + oprime.Name(),
+		Programs: progs,
+		Objects:  []spec.Spec{oprime},
+	}
+}
+
+// Partition solves k-set agreement among k*m processes using k separate
+// m-consensus objects: process i proposes to object (i-1)/m and decides
+// the response. Each group agrees internally, so at most k distinct
+// values are decided — the classic lower-bound construction realizing
+// n_k >= k*m for the m-consensus object ([2, 6]).
+func Partition(k, m int) Protocol {
+	objs := make([]spec.Spec, k)
+	for g := range objs {
+		objs[g] = objects.NewConsensus(m)
+	}
+	progs := make([]*machine.Program, k*m)
+	for i := range progs {
+		progs[i] = proposeDecide("partition-group-"+strconv.Itoa(i/m), value.MethodPropose, 0, i/m)
+	}
+	return Protocol{
+		Name: "(" + strconv.Itoa(k*m) + "," + strconv.Itoa(k) + ")-set agreement by partition over " +
+			strconv.Itoa(k) + "x " + objects.NewConsensus(m).Name(),
+		Programs: progs,
+		Objects:  objs,
+	}
+}
+
+// PartitionObjectO solves k-set agreement among k*n processes using k
+// separate O_n = (n+1,n)-PAC objects via their consensus components:
+// the O_n side of the "same set agreement power" comparison of
+// Corollary 6.6 (with the default power sequence n_k = k·n).
+func PartitionObjectO(k, n int) Protocol {
+	objs := make([]spec.Spec, k)
+	for g := range objs {
+		objs[g] = core.ObjectO(n)
+	}
+	progs := make([]*machine.Program, k*n)
+	for i := range progs {
+		progs[i] = proposeDecide("partition-On-group-"+strconv.Itoa(i/n), value.MethodProposeC, 0, i/n)
+	}
+	return Protocol{
+		Name: "(" + strconv.Itoa(k*n) + "," + strconv.Itoa(k) + ")-set agreement by partition over " +
+			strconv.Itoa(k) + "x " + core.ObjectO(n).Name(),
+		Programs: progs,
+		Objects:  objs,
+	}
+}
+
+// KSetFromOPrimeBase solves k-set agreement among procs processes with
+// the Lemma 6.4 implementation of O'_n (n-consensus + 2-SA components
+// only): PROPOSE(v, k), decide the response. Paired with KSetFromOPrime
+// it demonstrates Corollary 6.6's positive half — both objects solve
+// the same set agreement tasks.
+func KSetFromOPrimeBase(n, k, procs int) Protocol {
+	prog := proposeDecide("kset-from-oprime-base", value.MethodProposeK, k, 0)
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	ob := core.NewOPrimeFromBase(n)
+	return Protocol{
+		Name:     "(" + strconv.Itoa(procs) + "," + strconv.Itoa(k) + ")-set agreement from " + ob.Name(),
+		Programs: progs,
+		Objects:  []spec.Spec{ob},
+	}
+}
+
+// PartitionUneven solves K-set agreement among procs processes using K
+// m-consensus objects with (possibly uneven) groups of at most m
+// processes: process i joins group i mod K. It realizes the positive
+// direction of the Chaudhuri–Reiners formula for consensus objects —
+// feasible exactly when ceil(procs/K) <= m, i.e. procs <= K*m — and is
+// used to cross-validate power.CanSolve against the model checker.
+func PartitionUneven(procs, bigK, m int) Protocol {
+	objs := make([]spec.Spec, bigK)
+	for g := range objs {
+		objs[g] = objects.NewConsensus(m)
+	}
+	progs := make([]*machine.Program, procs)
+	for i := range progs {
+		progs[i] = proposeDecide("partition-uneven-group-"+strconv.Itoa(i%bigK), value.MethodPropose, 0, i%bigK)
+	}
+	return Protocol{
+		Name: "(" + strconv.Itoa(procs) + "," + strconv.Itoa(bigK) + ")-set agreement, uneven partition over " +
+			strconv.Itoa(bigK) + "x " + objects.NewConsensus(m).Name(),
+		Programs: progs,
+		Objects:  objs,
+	}
+}

@@ -1,0 +1,279 @@
+package programs_test
+
+import (
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/power"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+func check(t *testing.T, p programs.Protocol, tsk task.Task, inputs []value.Value, opts explore.Options) *explore.Report {
+	t.Helper()
+	sys, err := p.System(inputs)
+	if err != nil {
+		t.Fatalf("%s: System(%v): %v", p.Name, inputs, err)
+	}
+	rep, err := explore.Check(sys, tsk, opts)
+	if err != nil {
+		t.Fatalf("%s: Check(%v): %v", p.Name, inputs, err)
+	}
+	return rep
+}
+
+func requireSolved(t *testing.T, p programs.Protocol, tsk task.Task, inputs []value.Value) {
+	t.Helper()
+	rep := check(t, p, tsk, inputs, explore.Options{})
+	if !rep.Solved() {
+		t.Fatalf("%s on %v: %v", p.Name, inputs, rep.Violations[0])
+	}
+}
+
+func distinctInputs(n int) []value.Value {
+	in := make([]value.Value, n)
+	for i := range in {
+		in[i] = value.Value(10 + i)
+	}
+	return in
+}
+
+// TestConsensusFromPACMExhaustive is the positive half of Theorem 5.3
+// (via Observation 5.1(c)): one (n,m)-PAC object solves consensus among
+// m processes, verified exhaustively for m = 2, 3 and both n values
+// around it.
+func TestConsensusFromPACMExhaustive(t *testing.T) {
+	t.Parallel()
+	for _, m := range []int{2, 3} {
+		for _, n := range []int{m, m + 1} { // includes O_m = (m+1,m)-PAC
+			prot := programs.ConsensusFromPACM(n, m, m)
+			requireSolved(t, prot, task.Consensus{N: m}, distinctInputs(m))
+			requireSolved(t, prot, task.Consensus{N: m}, sim.Inputs(m, 0, 1))
+			requireSolved(t, prot, task.Consensus{N: m}, sim.Inputs(m, 7))
+		}
+	}
+}
+
+// TestObservation62ObjectO checks the consensus-number-n face of
+// O_n = (n+1,n)-PAC concretely: n processes solve consensus with it.
+func TestObservation62ObjectO(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{2, 3} {
+		prot := programs.ConsensusFromPACM(n+1, n, n)
+		requireSolved(t, prot, task.Consensus{N: n}, distinctInputs(n))
+	}
+}
+
+// TestConsensusFromPACMOversubscribed pins the failure shape of the
+// naive protocol run by m+1 processes: the (m+1)-th response is ⊥,
+// which the task rejects — consistent with Theorem 5.2's statement that
+// no protocol among m+1 processes exists over this base.
+func TestConsensusFromPACMOversubscribed(t *testing.T) {
+	t.Parallel()
+	const m = 2
+	prot := programs.ConsensusFromPACM(m, m, m+1)
+	rep := check(t, prot, task.Consensus{N: m + 1}, distinctInputs(m+1), explore.Options{})
+	if rep.Solved() {
+		t.Fatal("oversubscribed naive consensus reported as correct")
+	}
+}
+
+// TestConsensusDirectExhaustive checks the m-consensus object protocol
+// for m = 2..4 (calibrates the consensus rows of the hierarchy table).
+func TestConsensusDirectExhaustive(t *testing.T) {
+	t.Parallel()
+	for m := 2; m <= 4; m++ {
+		prot := programs.ConsensusFromObject(m, m)
+		requireSolved(t, prot, task.Consensus{N: m}, distinctInputs(m))
+		requireSolved(t, prot, task.Consensus{N: m}, sim.Inputs(m, 1, 0))
+	}
+}
+
+// TestPartitionExhaustive is E10's core: k groups of m processes over k
+// m-consensus objects solve (k*m, k)-set agreement — the lower-bound
+// construction realizing n_k = k·m.
+func TestPartitionExhaustive(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ k, m int }{{2, 2}, {3, 2}, {2, 3}}
+	for _, tc := range cases {
+		prot := programs.Partition(tc.k, tc.m)
+		procs := tc.k * tc.m
+		requireSolved(t, prot, task.KSetAgreement{N: procs, K: tc.k}, distinctInputs(procs))
+		requireSolved(t, prot, task.KSetAgreement{N: procs, K: tc.k}, sim.Inputs(procs, 0, 1))
+	}
+}
+
+// TestPartitionTightness checks the bound is tight in the decided-value
+// count: with k groups and all-distinct inputs there is a schedule
+// realizing exactly k distinct decisions (so the protocol genuinely
+// needs the k of k-set agreement, i.e. it does not solve (k-1)-set
+// agreement).
+func TestPartitionTightness(t *testing.T) {
+	t.Parallel()
+	const k, m = 2, 2
+	prot := programs.Partition(k, m)
+	procs := k * m
+	rep := check(t, prot, task.KSetAgreement{N: procs, K: k - 1}, distinctInputs(procs), explore.Options{})
+	if rep.Solved() {
+		t.Fatal("partition protocol claimed to solve (k-1)-set agreement")
+	}
+}
+
+// TestPartitionObjectOExhaustive is the O_n half of Corollary 6.6's
+// "same power" comparison: k-set agreement among k*n processes from k
+// O_n objects (consensus faces).
+func TestPartitionObjectOExhaustive(t *testing.T) {
+	t.Parallel()
+	const k, n = 2, 2
+	prot := programs.PartitionObjectO(k, n)
+	procs := k * n
+	requireSolved(t, prot, task.KSetAgreement{N: procs, K: k}, distinctInputs(procs))
+}
+
+// TestKSetFromSAExhaustive checks the strong SA objects solve their
+// native tasks: (n,k)-SA solves k-set agreement among n processes, and
+// the unbounded 2-SA solves 2-set agreement among any number.
+func TestKSetFromSAExhaustive(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ n, k, procs int }{
+		{4, 2, 4},
+		{4, 2, 3},
+		{6, 3, 4},
+		{0, 2, 4}, // unbounded 2-SA
+		{0, 2, 5},
+	}
+	for _, tc := range cases {
+		prot := programs.KSetFromSA(tc.n, tc.k, tc.procs)
+		requireSolved(t, prot, task.KSetAgreement{N: tc.procs, K: tc.k}, distinctInputs(tc.procs))
+	}
+}
+
+// TestKSetFromOPrimeVsBase is Corollary 6.6's positive half, exhaustive
+// for n = 2: the abstract O'_n and the Lemma 6.4 implementation (from
+// n-consensus + 2-SA only) solve the same (n_k, k)-set agreement tasks
+// for k = 1, 2.
+func TestKSetFromOPrimeVsBase(t *testing.T) {
+	t.Parallel()
+	const n = 2
+	power := func(k int) int { return k * n } // the default instantiation
+	for k := 1; k <= 2; k++ {
+		procs := power(k)
+		tsk := task.KSetAgreement{N: procs, K: k}
+		oprime := programs.KSetFromOPrime(corepkgOPrime(n), k, procs)
+		requireSolved(t, oprime, tsk, distinctInputs(procs))
+		base := programs.KSetFromOPrimeBase(n, k, procs)
+		requireSolved(t, base, tsk, distinctInputs(procs))
+	}
+}
+
+// TestKSetFromOPrimeLargerRandom extends the comparison to k = 3
+// (6 processes) by randomized sampling where exhaustive checking is
+// heavy.
+func TestKSetFromOPrimeLargerRandom(t *testing.T) {
+	t.Parallel()
+	const n, k = 2, 3
+	procs := k * n
+	tsk := task.KSetAgreement{N: procs, K: k}
+	for _, prot := range []programs.Protocol{
+		programs.KSetFromOPrime(corepkgOPrime(n), k, procs),
+		programs.KSetFromOPrimeBase(n, k, procs),
+	} {
+		prot := prot
+		completed, violation, err := sim.Trials(func() (*explore.System, error) {
+			return prot.System(distinctInputs(procs))
+		}, tsk, 200, 777, sim.Options{MaxSteps: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if violation != nil {
+			t.Fatalf("%s: %v", prot.Name, violation)
+		}
+		if completed != 200 {
+			t.Fatalf("%s: %d/200 completed", prot.Name, completed)
+		}
+	}
+}
+
+// TestAlgorithm2FourProcesses pushes Theorem 4.1's verification to
+// n = 4 on the critical input vector.
+func TestAlgorithm2FourProcesses(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	prot := programs.Algorithm2(4, 1)
+	rep := check(t, prot, task.DAC{N: 4, P: 0}, sim.Inputs(4, 1, 0, 0, 0), explore.Options{})
+	if !rep.Solved() {
+		t.Fatalf("violation: %v", rep.Violations[0])
+	}
+	t.Logf("n=4 states=%d transitions=%d", rep.States, rep.Transitions)
+}
+
+// TestProtocolSystemInputMismatch pins the arity check.
+func TestProtocolSystemInputMismatch(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	if _, err := prot.System([]value.Value{0}); err == nil {
+		t.Fatal("mismatched inputs accepted")
+	}
+}
+
+// TestAlgorithm2Scaling extends Theorem 4.1's exhaustive verification
+// up the state-space curve and pins the configuration counts as
+// regression anchors (the canonical input vector, p = 1):
+//
+//	n=2: 22    n=3: 182    n=4: 1 272    n=5: 7 960
+//	n=6: 48 550    n=7: 284 744   (long; skipped with -short)
+func TestAlgorithm2Scaling(t *testing.T) {
+	t.Parallel()
+	want := map[int]int{2: 22, 3: 182, 4: 1272, 5: 7960, 6: 48550, 7: 284744}
+	maxN := 7
+	if testing.Short() {
+		maxN = 5
+	}
+	for n := 2; n <= maxN; n++ {
+		prot := programs.Algorithm2(n, 1)
+		rep := check(t, prot, task.DAC{N: n, P: 0}, sim.Inputs(n, 1, 0), explore.Options{})
+		if !rep.Solved() {
+			t.Fatalf("n=%d: %v", n, rep.Violations[0])
+		}
+		if rep.States != want[n] {
+			t.Errorf("n=%d: %d configurations, want %d (state-space regression)", n, rep.States, want[n])
+		}
+	}
+}
+
+// TestPowerFormulaCrossValidation checks power.CanSolve against the
+// model checker for the consensus-object case: for every small
+// (m, K, N), the uneven-partition protocol solves (N,K)-set agreement
+// exactly when the Chaudhuri–Reiners formula says N processes with
+// m-consensus objects can reach level K. (The protocol realizes the
+// positive direction; when the formula says no, each group exceeds its
+// object's width and the surplus processes receive ⊥ — pinning that the
+// natural construction fails exactly at the formula's boundary.)
+func TestPowerFormulaCrossValidation(t *testing.T) {
+	t.Parallel()
+	for m := 1; m <= 3; m++ {
+		for bigK := 1; bigK <= 3; bigK++ {
+			for procs := 1; procs <= 5; procs++ {
+				feasible := procs <= bigK*m // group sizes fit the objects
+				formula := power.CanSolve(m, 1, procs, bigK)
+				if feasible != formula {
+					t.Fatalf("m=%d K=%d N=%d: partition feasibility %v != formula %v",
+						m, bigK, procs, feasible, formula)
+				}
+				if procs > 4 && !feasible {
+					continue // keep refutation state spaces small
+				}
+				prot := programs.PartitionUneven(procs, bigK, m)
+				rep := check(t, prot, task.KSetAgreement{N: procs, K: bigK}, distinctInputs(procs), explore.Options{})
+				if rep.Solved() != feasible {
+					t.Fatalf("m=%d K=%d N=%d: checker solved=%v, formula says %v",
+						m, bigK, procs, rep.Solved(), feasible)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/lincheck"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// TestReplayTraceReproducesRun records a random run's trace and replays
+// it: outcome and step count must match exactly.
+func TestReplayTraceReproducesRun(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	prot := programs.Algorithm2(n, 2)
+	inputs := sim.Inputs(n, 1, 0, 1)
+
+	sys := mustSystem(t, prot, inputs)
+	orig, err := sim.Run(sys, task.DAC{N: n, P: 1}, sim.Random(321), sim.Options{
+		MaxSteps:    4096,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Completed {
+		t.Skip("original run hit the budget; nothing deterministic to replay")
+	}
+
+	sys2 := mustSystem(t, prot, inputs)
+	replayed, err := sim.Run(sys2, task.DAC{N: n, P: 1}, sim.Replay(orig.Trace), sim.Options{
+		MaxSteps:    len(orig.Trace),
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Steps != orig.Steps {
+		t.Fatalf("replay took %d steps, original %d", replayed.Steps, orig.Steps)
+	}
+	for i := range orig.Trace {
+		if orig.Trace[i] != replayed.Trace[i] {
+			t.Fatalf("step %d diverged: %v vs %v", i, orig.Trace[i], replayed.Trace[i])
+		}
+	}
+	for i := range orig.Outcome.Decided {
+		if orig.Outcome.Decided[i] != replayed.Outcome.Decided[i] ||
+			orig.Outcome.Decisions[i] != replayed.Outcome.Decisions[i] ||
+			orig.Outcome.Aborted[i] != replayed.Outcome.Aborted[i] {
+			t.Fatalf("outcome diverged at process %d", i+1)
+		}
+	}
+}
+
+// TestReplayExplorerWitness is the cross-engine validation: a safety
+// violation witness produced by the exhaustive model checker, replayed
+// step for step in the simulator, reproduces the violation.
+func TestReplayExplorerWitness(t *testing.T) {
+	t.Parallel()
+	prot := programs.NaiveTwoSAConsensus(2)
+	inputs := []value.Value{0, 1}
+	sys := mustSystem(t, prot, inputs)
+	rep, err := explore.Check(sys, task.Consensus{N: 2}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solved() {
+		t.Fatal("expected a safety violation")
+	}
+	var witness []explore.Step
+	for _, v := range rep.Violations {
+		if v.Kind == explore.ViolationSafety {
+			witness = v.Witness
+			break
+		}
+	}
+	if witness == nil {
+		t.Fatal("no safety witness")
+	}
+
+	sys2 := mustSystem(t, prot, inputs)
+	res, err := sim.Run(sys2, task.Consensus{N: 2}, sim.Replay(witness), sim.Options{
+		MaxSteps: len(witness),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("replaying the checker's witness did not reproduce the violation")
+	}
+	if !errors.Is(res.Violation, task.ErrViolation) {
+		t.Fatalf("unexpected violation type: %v", res.Violation)
+	}
+}
+
+// TestReplayLivenessCycle replays witness + several cycle iterations of
+// a liveness violation: the run must not complete (the cycle really
+// loops).
+func TestReplayLivenessCycle(t *testing.T) {
+	t.Parallel()
+	prot := programs.OverSubscribedConsensus(2)
+	inputs := []value.Value{0, 1, 2}
+	sys := mustSystem(t, prot, inputs)
+	rep, err := explore.Check(sys, task.Consensus{N: 3}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wit, cyc []explore.Step
+	for _, v := range rep.Violations {
+		if v.Kind == explore.ViolationWaitFree && len(v.Cycle) > 0 {
+			wit, cyc = v.Witness, v.Cycle
+			break
+		}
+	}
+	if cyc == nil {
+		t.Fatal("no wait-free cycle witness")
+	}
+	schedule := append([]explore.Step(nil), wit...)
+	for r := 0; r < 5; r++ {
+		schedule = append(schedule, cyc...)
+	}
+	sys2 := mustSystem(t, prot, inputs)
+	res, err := sim.Run(sys2, nil, sim.Replay(schedule), sim.Options{MaxSteps: len(schedule)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("liveness-cycle replay completed — the cycle does not loop")
+	}
+	if res.Steps != len(schedule) {
+		t.Fatalf("replay executed %d of %d steps", res.Steps, len(schedule))
+	}
+}
+
+// TestTraceHistoriesLinearizable is the machine-vs-spec cross check:
+// per-object histories extracted from simulator traces must be
+// linearizable w.r.t. the object specs, for a spread of protocols and
+// seeds.
+func TestTraceHistoriesLinearizable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		prot   programs.Protocol
+		inputs []value.Value
+	}{
+		{programs.Algorithm2(4, 1), sim.Inputs(4, 1, 0)},
+		{programs.ConsensusFromPACM(3, 2, 2), sim.Inputs(2, 0, 1)},
+		{programs.KSetFromSA(0, 2, 4), sim.Inputs(4, 3, 5, 7, 9)},
+		{programs.ChaudhuriKSet(3, 2), sim.Inputs(3, 4, 6)},
+		{programs.ConsensusFromQueue(), sim.Inputs(2, 8, 9)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.prot.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 10; seed++ {
+				sys, err := tc.prot.System(tc.inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(sys, nil, sim.Random(seed), sim.Options{
+					MaxSteps:    60, // keep histories within lincheck's event cap
+					RecordTrace: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := sim.TraceToHistory(res.Trace)
+				specs := make(map[int]spec.Spec, len(tc.prot.Objects))
+				for j, sp := range tc.prot.Objects {
+					specs[j] = sp
+				}
+				if _, err := lincheck.Check(h, specs); err != nil {
+					t.Fatalf("seed %d: trace history not linearizable: %v", seed, err)
+				}
+			}
+		})
+	}
+}

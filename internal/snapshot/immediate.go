@@ -1,0 +1,126 @@
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+
+	"setagree/internal/value"
+)
+
+// Immediate is a one-shot immediate snapshot object for n processes
+// (Borowsky–Gafni): each process calls WriteRead(i, v) once and obtains
+// a view — a partial vector of the values written so far — such that
+//
+//   - self-inclusion: process i's own value is in its view;
+//   - containment: any two views are ordered by inclusion; and
+//   - immediacy: if process j's value is in process i's view, then
+//     j's view is a subset of i's view.
+//
+// Immediate snapshots are the building block of the iterated-immediate-
+// snapshot model underlying the topological characterizations of k-set
+// agreement that give the paper's "set agreement power" its meaning.
+//
+// The implementation is the classic level-descent algorithm: a process
+// starts at level n and descends one level at a time, writing its
+// (value, level) and collecting; it returns when the set of processes
+// at its level or below has size at least its level.
+type Immediate struct {
+	mu     sync.Mutex
+	vals   []value.Value
+	levels []int
+	n      int
+}
+
+// NewImmediate creates a one-shot immediate snapshot for n processes.
+func NewImmediate(n int) *Immediate {
+	im := &Immediate{
+		vals:   make([]value.Value, n),
+		levels: make([]int, n),
+		n:      n,
+	}
+	for i := range im.vals {
+		im.vals[i] = value.None
+		im.levels[i] = n + 1
+	}
+	return im
+}
+
+// N returns the process bound.
+func (im *Immediate) N() int { return im.n }
+
+// View is a process's immediate snapshot result: the values of the
+// processes it saw, indexed by 1-based process id.
+type View map[int]value.Value
+
+// Contains reports whether the view includes process j.
+func (v View) Contains(j int) bool {
+	_, ok := v[j]
+	return ok
+}
+
+// SubsetOf reports whether every entry of v appears in w.
+func (v View) SubsetOf(w View) bool {
+	for j, x := range v {
+		y, ok := w[j]
+		if !ok || y != x {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteRead performs process i's single operation: it contributes v and
+// returns i's view. Each process may call it once.
+func (im *Immediate) WriteRead(i int, v value.Value) (View, error) {
+	if i < 1 || i > im.n {
+		return nil, fmt.Errorf("process %d of %d: %w", i, im.n, ErrBadComponent)
+	}
+	if v.IsSentinel() {
+		return nil, fmt.Errorf("sentinel value %s: %w", v, ErrBadComponent)
+	}
+	im.mu.Lock()
+	already := im.levels[i-1] <= im.n
+	im.mu.Unlock()
+	if already {
+		return nil, fmt.Errorf("process %d already participated: %w", i, ErrBadComponent)
+	}
+
+	for level := im.n; level >= 1; level-- {
+		// Write (v, level) to our register.
+		im.mu.Lock()
+		im.vals[i-1] = v
+		im.levels[i-1] = level
+		im.mu.Unlock()
+
+		// Collect.
+		type obs struct {
+			val   value.Value
+			level int
+		}
+		seen := make([]obs, im.n)
+		for j := 0; j < im.n; j++ {
+			im.mu.Lock()
+			seen[j] = obs{val: im.vals[j], level: im.levels[j]}
+			im.mu.Unlock()
+		}
+
+		// S = processes at our level or below.
+		count := 0
+		for j := 0; j < im.n; j++ {
+			if seen[j].level <= level {
+				count++
+			}
+		}
+		if count >= level {
+			view := make(View, count)
+			for j := 0; j < im.n; j++ {
+				if seen[j].level <= level {
+					view[j+1] = seen[j].val
+				}
+			}
+			return view, nil
+		}
+	}
+	// Unreachable: at level 1 the count includes at least ourselves.
+	return nil, fmt.Errorf("process %d descended below level 1: %w", i, ErrBadComponent)
+}

@@ -1,0 +1,130 @@
+package snapshot_test
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"setagree/internal/snapshot"
+	"setagree/internal/value"
+)
+
+func TestImmediateSolo(t *testing.T) {
+	t.Parallel()
+	im := snapshot.NewImmediate(3)
+	view, err := im.WriteRead(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view) != 1 || view[2] != 9 {
+		t.Fatalf("solo view = %v, want {2: 9}", view)
+	}
+}
+
+func TestImmediateErrors(t *testing.T) {
+	t.Parallel()
+	im := snapshot.NewImmediate(2)
+	if _, err := im.WriteRead(0, 1); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("process 0: %v", err)
+	}
+	if _, err := im.WriteRead(3, 1); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("process 3: %v", err)
+	}
+	if _, err := im.WriteRead(1, value.Bottom); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("sentinel: %v", err)
+	}
+	if _, err := im.WriteRead(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.WriteRead(1, 5); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("second participation: %v", err)
+	}
+}
+
+// runImmediate runs all n processes concurrently and returns their
+// views.
+func runImmediate(t *testing.T, n int) []snapshot.View {
+	t.Helper()
+	im := snapshot.NewImmediate(n)
+	views := make([]snapshot.View, n)
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			view, err := im.WriteRead(i, value.Value(100+i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			views[i-1] = view
+		}(i)
+	}
+	wg.Wait()
+	return views
+}
+
+// TestImmediateProperties checks the three defining properties over
+// many concurrent rounds.
+func TestImmediateProperties(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	for round := 0; round < 200; round++ {
+		views := runImmediate(t, n)
+		// Self-inclusion, and values are authentic.
+		for i, view := range views {
+			if view == nil {
+				t.Fatal("missing view")
+			}
+			if got, ok := view[i+1]; !ok || got != value.Value(100+i+1) {
+				t.Fatalf("round %d: view of p%d lacks its own value: %v", round, i+1, view)
+			}
+			for j, v := range view {
+				if v != value.Value(100+j) {
+					t.Fatalf("round %d: view of p%d has corrupted entry %d: %s", round, i+1, j, v)
+				}
+			}
+		}
+		// Containment: views totally ordered by size then subset.
+		ordered := append([]snapshot.View(nil), views...)
+		sort.Slice(ordered, func(a, b int) bool { return len(ordered[a]) < len(ordered[b]) })
+		for x := 1; x < len(ordered); x++ {
+			if !ordered[x-1].SubsetOf(ordered[x]) {
+				t.Fatalf("round %d: views not ordered by inclusion: %v vs %v",
+					round, ordered[x-1], ordered[x])
+			}
+		}
+		// Immediacy: j in view_i implies view_j subset of view_i.
+		for i, vi := range views {
+			for j := range views {
+				if vi.Contains(j + 1) {
+					if !views[j].SubsetOf(vi) {
+						t.Fatalf("round %d: immediacy violated: p%d in view of p%d but view_%d ⊄ view_%d",
+							round, j+1, i+1, j+1, i+1)
+					}
+				}
+				_ = i
+			}
+		}
+	}
+}
+
+// TestImmediateSequentialIsChain: fully sequential participation gives
+// strictly growing views.
+func TestImmediateSequentialIsChain(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	im := snapshot.NewImmediate(n)
+	prevLen := 0
+	for i := 1; i <= n; i++ {
+		view, err := im.WriteRead(i, value.Value(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(view) != prevLen+1 {
+			t.Fatalf("sequential view %d has size %d, want %d", i, len(view), prevLen+1)
+		}
+		prevLen = len(view)
+	}
+}

@@ -1,0 +1,133 @@
+// Package snapshot implements the wait-free atomic snapshot object of
+// Afek et al. from single-writer registers — the workhorse substrate of
+// the shared-memory literature the paper lives in (read/write protocols
+// in the BG simulation, §1's system model).
+//
+// A Snapshot over n components supports, for process i:
+//
+//	Update(i, v) — atomically set component i to v;
+//	Scan()       — atomically read all components.
+//
+// The implementation is the classic one: each component register holds
+// (value, sequence number, embedded view); a scanner double-collects
+// until it sees two identical collects (a direct snapshot) or observes
+// some updater move twice, in which case it borrows that updater's
+// embedded view (the updater performed a scan inside its second update,
+// which started after the scanner began — so the view is fresh).
+// Updates perform an embedded Scan and then write. Both operations are
+// wait-free: a scanner that sees n+1 collects must have seen some
+// updater move twice.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"setagree/internal/value"
+)
+
+// ErrBadComponent reports a component index outside [1, n].
+var ErrBadComponent = errors.New("snapshot: component index out of range")
+
+// cell is the content of one single-writer register.
+type cell struct {
+	view []value.Value // the updater's embedded scan
+	val  value.Value
+	seq  uint64
+}
+
+// Snapshot is a wait-free n-component atomic snapshot object. It is
+// safe for concurrent use; component i must only be updated by its
+// owning process (single-writer), which matches the system model.
+type Snapshot struct {
+	mu    sync.Mutex // models the per-register atomicity; collects copy under it
+	cells []cell
+}
+
+// New creates a snapshot object with n components, all value.None.
+func New(n int) *Snapshot {
+	s := &Snapshot{cells: make([]cell, n)}
+	for i := range s.cells {
+		s.cells[i].val = value.None
+	}
+	return s
+}
+
+// N returns the component count.
+func (s *Snapshot) N() int { return len(s.cells) }
+
+// collect atomically reads every register once. (Register reads are
+// individually atomic; the collect itself is not — that is the point of
+// the double-collect algorithm. We nevertheless read them under one
+// lock acquisition per register to model per-register atomicity; the
+// loop releases the lock between registers to preserve the algorithm's
+// interleaving semantics.)
+func (s *Snapshot) collect() []cell {
+	out := make([]cell, len(s.cells))
+	for i := range s.cells {
+		s.mu.Lock()
+		out[i] = s.cells[i]
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func sameCollect(a, b []cell) bool {
+	for i := range a {
+		if a[i].seq != b[i].seq {
+			return false
+		}
+	}
+	return true
+}
+
+func views(c []cell) []value.Value {
+	out := make([]value.Value, len(c))
+	for i := range c {
+		out[i] = c[i].val
+	}
+	return out
+}
+
+// Scan returns an atomic view of all components.
+func (s *Snapshot) Scan() []value.Value {
+	moved := make([]int, len(s.cells))
+	prev := s.collect()
+	for {
+		cur := s.collect()
+		if sameCollect(prev, cur) {
+			return views(cur) // direct (double-collect) snapshot
+		}
+		for i := range cur {
+			if cur[i].seq != prev[i].seq {
+				moved[i]++
+				if moved[i] >= 2 && cur[i].view != nil {
+					// Component i's updater moved twice during our scan:
+					// its second update's embedded view began after our
+					// scan did, so it is a valid snapshot for us too.
+					borrowed := make([]value.Value, len(cur[i].view))
+					copy(borrowed, cur[i].view)
+					return borrowed
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// Update atomically sets component i (1-based) to v. The update embeds
+// a scan so that concurrent scanners can borrow its view.
+func (s *Snapshot) Update(i int, v value.Value) error {
+	if i < 1 || i > len(s.cells) {
+		return fmt.Errorf("component %d of %d: %w", i, len(s.cells), ErrBadComponent)
+	}
+	view := s.Scan()
+	s.mu.Lock()
+	c := &s.cells[i-1]
+	c.val = v
+	c.seq++
+	c.view = view
+	s.mu.Unlock()
+	return nil
+}

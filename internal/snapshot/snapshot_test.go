@@ -1,0 +1,187 @@
+package snapshot_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"setagree/internal/snapshot"
+	"setagree/internal/value"
+)
+
+func TestInitialScan(t *testing.T) {
+	t.Parallel()
+	s := snapshot.New(3)
+	for i, v := range s.Scan() {
+		if v != value.None {
+			t.Errorf("component %d = %s, want NIL", i+1, v)
+		}
+	}
+}
+
+func TestUpdateThenScan(t *testing.T) {
+	t.Parallel()
+	s := snapshot.New(3)
+	if err := s.Update(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Scan()
+	want := []value.Value{value.None, 7, value.None}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v", got)
+		}
+	}
+}
+
+func TestUpdateBadComponent(t *testing.T) {
+	t.Parallel()
+	s := snapshot.New(2)
+	if err := s.Update(0, 1); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("component 0: %v", err)
+	}
+	if err := s.Update(3, 1); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("component 3: %v", err)
+	}
+}
+
+// TestScansAreMonotone checks the linearizability consequence used by
+// every snapshot client: per-component values observed by successive
+// scans of one process never go backwards when the writer writes an
+// increasing sequence.
+func TestScansAreMonotone(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	const per = 300
+	s := snapshot.New(n)
+	var wg sync.WaitGroup
+	// Writers: component i counts up.
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for v := 1; v <= per; v++ {
+				if err := s.Update(i, value.Value(v)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	// Scanners: every component must be non-decreasing across scans,
+	// within one scanner.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := make([]value.Value, n)
+			for i := range last {
+				last[i] = value.None
+			}
+			for k := 0; k < per; k++ {
+				view := s.Scan()
+				for i, v := range view {
+					if v == value.None {
+						if last[i] != value.None {
+							t.Errorf("component %d went back to NIL", i+1)
+							return
+						}
+						continue
+					}
+					if last[i] != value.None && v < last[i] {
+						t.Errorf("component %d regressed %s -> %s", i+1, last[i], v)
+						return
+					}
+					last[i] = v
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestScannersAgreeOnOrder checks mutual consistency: two views are
+// always comparable component-wise (one dominates the other), which
+// holds iff scans are linearizable for monotone writers.
+func TestScannersAgreeOnOrder(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	const per = 200
+	s := snapshot.New(n)
+	var mu sync.Mutex
+	var viewsSeen [][]value.Value
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for v := 1; v <= per; v++ {
+				if err := s.Update(i, value.Value(v)); err != nil {
+					t.Error(err)
+					return
+				}
+				view := s.Scan()
+				mu.Lock()
+				viewsSeen = append(viewsSeen, view)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	dominates := func(a, b []value.Value) bool {
+		for i := range a {
+			av, bv := a[i], b[i]
+			if av == value.None {
+				av = 0
+			}
+			if bv == value.None {
+				bv = 0
+			}
+			if av < bv {
+				return false
+			}
+		}
+		return true
+	}
+	for x := 0; x < len(viewsSeen); x++ {
+		for y := x + 1; y < len(viewsSeen); y++ {
+			if !dominates(viewsSeen[x], viewsSeen[y]) && !dominates(viewsSeen[y], viewsSeen[x]) {
+				t.Fatalf("incomparable views %v and %v — scans not atomic", viewsSeen[x], viewsSeen[y])
+			}
+		}
+	}
+}
+
+// TestEmbeddedViewBorrowing forces the borrow path: a scanner racing a
+// fast updater still returns a coherent view.
+func TestEmbeddedViewBorrowing(t *testing.T) {
+	t.Parallel()
+	s := snapshot.New(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v := value.Value(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := s.Update(1, v); err != nil {
+					t.Error(err)
+					return
+				}
+				v++
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		view := s.Scan()
+		if len(view) != 2 {
+			t.Fatalf("view %v", view)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

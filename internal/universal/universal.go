@@ -1,0 +1,224 @@
+// Package universal implements Herlihy's wait-free universal
+// construction [10], the motivating result of the paper's introduction:
+// instances of any object with consensus number n, together with
+// registers, implement *any* deterministic object shared by up to n
+// processes.
+//
+// The construction threads operations onto an unbounded list of cells,
+// each guarded by an n-consensus object; processes announce their
+// pending operations in single-writer registers and help the process
+// whose index matches the next cell number, which yields the classic
+// wait-freedom bound (an announced operation is threaded within n
+// cells). Every process replays the decided sequence against a local
+// replica to compute responses.
+//
+// The shared state consists solely of n-consensus objects and atomic
+// registers (both from this repository's object zoo). Our registers
+// hold a single Value, so operation descriptors are interned into an
+// append-only table and announced by integer id — a pure encoding of
+// the descriptor registers of [10].
+package universal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// Construction failure modes.
+var (
+	// ErrNondeterministic reports a target spec with nondeterministic
+	// transitions; the replicas of a universal object must agree on
+	// every transition, so only deterministic objects are universal
+	// targets (the paper's Corollary 6.7 concerns exactly the
+	// deterministic objects).
+	ErrNondeterministic = errors.New("universal: target spec is nondeterministic")
+	// ErrBadProcess reports a handle index outside [1, n].
+	ErrBadProcess = errors.New("universal: process index out of range")
+)
+
+// Universal is a wait-free linearizable implementation of an arbitrary
+// deterministic object for N processes, built from N-consensus objects
+// and registers. Create handles with Handle; each process uses its own.
+type Universal struct {
+	target spec.Spec
+	n      int
+
+	announce []*spec.Atomic // announce[i]: latest op id of process i+1
+
+	handleMu sync.Mutex
+	handles  []*Handle // one replica per process, created on demand
+
+	cellsMu sync.Mutex
+	cells   []*spec.Atomic // cell k: n-consensus deciding the k-th op
+
+	opsMu sync.Mutex
+	ops   []value.Op // interned operation descriptors, indexed by id
+}
+
+// New creates a universal object implementing target for n processes.
+func New(target spec.Spec, n int) (*Universal, error) {
+	if !spec.Deterministic(target) {
+		return nil, fmt.Errorf("%s: %w", target.Name(), ErrNondeterministic)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("n = %d: %w", n, ErrBadProcess)
+	}
+	u := &Universal{target: target, n: n}
+	u.announce = make([]*spec.Atomic, n)
+	for i := range u.announce {
+		u.announce[i] = spec.NewAtomic(objects.NewRegister(), nil)
+	}
+	return u, nil
+}
+
+// Target returns the implemented object's specification.
+func (u *Universal) Target() spec.Spec { return u.target }
+
+// Procs returns the number of supported processes.
+func (u *Universal) Procs() int { return u.n }
+
+// cell returns the k-th consensus object, allocating as needed.
+func (u *Universal) cell(k int) *spec.Atomic {
+	u.cellsMu.Lock()
+	defer u.cellsMu.Unlock()
+	for len(u.cells) <= k {
+		u.cells = append(u.cells, spec.NewAtomic(objects.NewConsensus(u.n), nil))
+	}
+	return u.cells[k]
+}
+
+// intern registers an operation descriptor and returns its id.
+func (u *Universal) intern(op value.Op) value.Value {
+	u.opsMu.Lock()
+	defer u.opsMu.Unlock()
+	u.ops = append(u.ops, op)
+	return value.Value(len(u.ops) - 1)
+}
+
+// lookup resolves an interned id.
+func (u *Universal) lookup(id value.Value) value.Op {
+	u.opsMu.Lock()
+	defer u.opsMu.Unlock()
+	return u.ops[id]
+}
+
+// Handle returns process i's (1-based) private access point. Repeated
+// calls with the same i return the same handle: a process's replica
+// persists for the object's lifetime (a fresh replica would re-propose
+// to cells that already served their n proposals).
+func (u *Universal) Handle(i int) (*Handle, error) {
+	if i < 1 || i > u.n {
+		return nil, fmt.Errorf("process %d of %d: %w", i, u.n, ErrBadProcess)
+	}
+	u.handleMu.Lock()
+	defer u.handleMu.Unlock()
+	if u.handles == nil {
+		u.handles = make([]*Handle, u.n)
+	}
+	if u.handles[i-1] == nil {
+		u.handles[i-1] = &Handle{
+			u:       u,
+			proc:    i,
+			state:   u.target.Init(),
+			applied: make(map[value.Value]bool),
+		}
+	}
+	return u.handles[i-1], nil
+}
+
+// Handle is one process's replica of the universal object. A Handle is
+// not safe for concurrent use (each process owns one); distinct handles
+// of one Universal may be used concurrently.
+type Handle struct {
+	u       *Universal
+	proc    int
+	state   spec.State
+	next    int                         // next cell index to replay
+	applied map[value.Value]bool        // op ids already threaded
+	resp    map[value.Value]value.Value // op id -> response at its linearization point
+
+	lastCells int // cells traversed by the most recent Apply
+}
+
+// Apply performs op on the universal object, wait-free: it announces
+// the operation, helps thread cells until the operation is decided into
+// one, and returns the response computed by the local replica at that
+// point of the linearization.
+func (h *Handle) Apply(op value.Op) (value.Value, error) {
+	u := h.u
+	id := u.intern(op)
+	if _, err := u.announce[h.proc-1].Apply(value.Write(id)); err != nil {
+		return value.None, err
+	}
+	h.lastCells = 0
+	for !h.applied[id] {
+		h.lastCells++
+		// Help the process whose turn matches this cell, if it has an
+		// unapplied announced operation; otherwise push our own.
+		prefer := id
+		turn := h.next % u.n
+		annID, err := u.announce[turn].Apply(value.Read())
+		if err != nil {
+			return value.None, err
+		}
+		if annID != value.None && !h.applied[annID] {
+			prefer = annID
+		}
+		winner, err := u.cell(h.next).Apply(value.Propose(prefer))
+		if err != nil {
+			return value.None, err
+		}
+		if winner == value.Bottom {
+			// Unreachable: each process proposes at most once per cell,
+			// so an n-consensus cell never sees more than n proposals.
+			return value.None, fmt.Errorf("cell %d exhausted: %w", h.next, ErrBadProcess)
+		}
+		if _, err := h.replay(winner); err != nil {
+			return value.None, err
+		}
+	}
+	// Replaying recorded the response for our own op.
+	return h.responses(id)
+}
+
+// replay applies the winner of cell h.next to the local replica.
+func (h *Handle) replay(winnerID value.Value) (value.Value, error) {
+	op := h.u.lookup(winnerID)
+	ts, err := h.u.target.Step(h.state, op)
+	if err != nil {
+		return value.None, err
+	}
+	h.state = ts[0].Next
+	h.applied[winnerID] = true
+	if h.resp == nil {
+		h.resp = make(map[value.Value]value.Value)
+	}
+	h.resp[winnerID] = ts[0].Resp
+	h.next++
+	return ts[0].Resp, nil
+}
+
+// responses returns the recorded response of an applied op.
+func (h *Handle) responses(id value.Value) (value.Value, error) {
+	v, ok := h.resp[id]
+	if !ok {
+		return value.None, fmt.Errorf("no recorded response for op %d: %w", id, ErrBadProcess)
+	}
+	return v, nil
+}
+
+// State returns the handle's current replica state (the prefix of the
+// linearization this process has replayed).
+func (h *Handle) State() spec.State { return h.state }
+
+// LastCells reports how many cells the most recent Apply threaded
+// before its operation was decided in — the quantity Herlihy's
+// wait-freedom argument bounds: thanks to the turn-based helping, an
+// announced operation is threaded within n+1 cells, so LastCells never
+// exceeds Procs()+1.
+func (h *Handle) LastCells() int { return h.lastCells }

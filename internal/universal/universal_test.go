@@ -1,0 +1,295 @@
+package universal_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"setagree/internal/core"
+	"setagree/internal/history"
+	"setagree/internal/lincheck"
+	"setagree/internal/objects"
+	"setagree/internal/universal"
+	"setagree/internal/value"
+)
+
+func TestNewRejectsNondeterministic(t *testing.T) {
+	t.Parallel()
+	if _, err := universal.New(objects.NewTwoSA(), 2); !errors.Is(err, universal.ErrNondeterministic) {
+		t.Fatalf("err = %v, want ErrNondeterministic", err)
+	}
+}
+
+func TestNewRejectsBadN(t *testing.T) {
+	t.Parallel()
+	if _, err := universal.New(objects.NewQueue(), 0); !errors.Is(err, universal.ErrBadProcess) {
+		t.Fatalf("err = %v, want ErrBadProcess", err)
+	}
+}
+
+func TestHandleRange(t *testing.T) {
+	t.Parallel()
+	u, err := universal.New(objects.NewQueue(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Handle(0); !errors.Is(err, universal.ErrBadProcess) {
+		t.Fatalf("Handle(0): %v", err)
+	}
+	if _, err := u.Handle(3); !errors.Is(err, universal.ErrBadProcess) {
+		t.Fatalf("Handle(3): %v", err)
+	}
+	if _, err := u.Handle(2); err != nil {
+		t.Fatalf("Handle(2): %v", err)
+	}
+}
+
+// TestSingleProcessQueue drives a universal queue sequentially.
+func TestSingleProcessQueue(t *testing.T) {
+	t.Parallel()
+	u, err := universal.New(objects.NewQueue(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := u.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []value.Value{1, 2, 3} {
+		if _, err := h.Apply(value.Enqueue(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []value.Value{1, 2, 3} {
+		got, err := h.Apply(value.Dequeue())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("dequeue = %s, want %s", got, want)
+		}
+	}
+}
+
+// TestConcurrentCounterTotal checks a universal fetch&add counter under
+// real concurrency: every prior total is handed out exactly once.
+func TestConcurrentCounterTotal(t *testing.T) {
+	t.Parallel()
+	const n, each = 4, 25
+	u, err := universal.New(objects.NewCounter(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]value.Value, n)
+	var wg sync.WaitGroup
+	for p := 1; p <= n; p++ {
+		h, err := u.Handle(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *universal.Handle) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				v, err := h.Apply(value.FetchAdd(1))
+				if err != nil {
+					t.Errorf("proc %d: %v", p, err)
+					return
+				}
+				results[p-1] = append(results[p-1], v)
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	seen := make(map[value.Value]bool)
+	for _, rs := range results {
+		for _, v := range rs {
+			if seen[v] {
+				t.Fatalf("prior total %s observed twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != n*each {
+		t.Fatalf("%d distinct totals, want %d", len(seen), n*each)
+	}
+}
+
+// TestConcurrentQueueLinearizable stress-tests a universal queue and
+// verifies the recorded history against the queue spec with the
+// linearizability checker.
+func TestConcurrentQueueLinearizable(t *testing.T) {
+	t.Parallel()
+	const n, each = 3, 5
+	u, err := universal.New(objects.NewQueue(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []history.Event
+	var clock int64
+	tick := func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		clock++
+		return clock
+	}
+	record := func(e history.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		events = append(events, e)
+	}
+
+	var wg sync.WaitGroup
+	for p := 1; p <= n; p++ {
+		h, err := u.Handle(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *universal.Handle) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				op := value.Enqueue(value.Value(p*100 + i))
+				if i%2 == 1 {
+					op = value.Dequeue()
+				}
+				inv := tick()
+				resp, err := h.Apply(op)
+				ret := tick()
+				if err != nil {
+					t.Errorf("proc %d: %v", p, err)
+					return
+				}
+				record(history.Event{
+					Proc: p, Obj: 0, Method: op.Method, Arg: op.Arg, Label: op.Label,
+					Resp: resp, Inv: inv, Ret: ret,
+				})
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	h := &history.History{Events: events}
+	h.Sort()
+	if _, err := lincheck.CheckObject(h, objects.NewQueue()); err != nil {
+		t.Fatalf("universal queue history not linearizable: %v", err)
+	}
+}
+
+// TestUniversalPAC implements the paper's own n-PAC object through the
+// universal construction (consensus + registers) and replays the §3
+// semantics through it.
+func TestUniversalPAC(t *testing.T) {
+	t.Parallel()
+	u, err := universal.New(core.NewPAC(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := u.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.Apply(value.ProposeAt(6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h1.Apply(value.Decide(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("universal PAC decide = %s, want 6", got)
+	}
+	// Orphan decide upsets it, permanently.
+	if _, err := h1.Apply(value.Decide(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = h1.Apply(value.Decide(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != value.Bottom {
+		t.Fatalf("upset universal PAC returned %s, want ⊥", got)
+	}
+}
+
+// TestReplicasConverge checks that two handles observe one shared
+// linearization (state keys agree after both drain the cell list).
+func TestReplicasConverge(t *testing.T) {
+	t.Parallel()
+	u, err := universal.New(objects.NewCounter(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := u.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := u.Handle(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.Apply(value.FetchAdd(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Apply(value.FetchAdd(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.Apply(value.FetchAdd(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Apply(value.FetchAdd(0)); err != nil {
+		t.Fatal(err)
+	}
+	if h1.State().Key() != h2.State().Key() {
+		t.Fatalf("replicas diverged: %s vs %s", h1.State().Key(), h2.State().Key())
+	}
+}
+
+// TestWaitFreedomBound checks Herlihy's helping bound live. LastCells
+// counts replica catch-up plus threading; with a barrier between
+// rounds, the backlog entering an Apply is at most n-1 cells (the
+// same-round ops decided after ours last round) and the turn-based
+// helping threads the announced op within n+1 further cells, so no
+// Apply may traverse more than 2n cells.
+func TestWaitFreedomBound(t *testing.T) {
+	t.Parallel()
+	const n, rounds = 4, 25
+	u, err := universal.New(objects.NewCounter(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*universal.Handle, n)
+	for p := 1; p <= n; p++ {
+		h, err := u.Handle(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[p-1] = h
+	}
+	maxCells := make([]int, n)
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for p := 1; p <= n; p++ {
+			wg.Add(1)
+			go func(p int, h *universal.Handle) {
+				defer wg.Done()
+				if _, err := h.Apply(value.FetchAdd(1)); err != nil {
+					t.Error(err)
+					return
+				}
+				if c := h.LastCells(); c > maxCells[p-1] {
+					maxCells[p-1] = c
+				}
+			}(p, handles[p-1])
+		}
+		wg.Wait() // round barrier
+	}
+	for p, c := range maxCells {
+		if c > 2*n {
+			t.Errorf("process %d traversed %d cells in one Apply, bound is 2n = %d", p+1, c, 2*n)
+		}
+		if c == 0 {
+			t.Errorf("process %d recorded no cell traversal", p+1)
+		}
+	}
+}

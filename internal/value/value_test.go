@@ -1,0 +1,148 @@
+package value_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"setagree/internal/value"
+)
+
+func TestSentinelStrings(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		v    value.Value
+		want string
+	}{
+		{value.None, "NIL"},
+		{value.Bottom, "⊥"},
+		{value.Done, "done"},
+		{0, "0"},
+		{-3, "-3"},
+		{42, "42"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int64(tc.v), got, tc.want)
+		}
+	}
+}
+
+func TestIsSentinel(t *testing.T) {
+	t.Parallel()
+	for _, v := range []value.Value{value.None, value.Bottom, value.Done} {
+		if !v.IsSentinel() {
+			t.Errorf("%s not sentinel", v)
+		}
+	}
+	f := func(raw int32) bool {
+		return !value.Value(raw).IsSentinel() // all int32-range values are application values
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelsDistinct(t *testing.T) {
+	t.Parallel()
+	if value.None == value.Bottom || value.Bottom == value.Done || value.None == value.Done {
+		t.Fatal("sentinels collide")
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	t.Parallel()
+	cases := map[value.Method]string{
+		value.MethodRead:       "READ",
+		value.MethodWrite:      "WRITE",
+		value.MethodPropose:    "PROPOSE",
+		value.MethodProposeAt:  "PROPOSE_AT",
+		value.MethodDecide:     "DECIDE",
+		value.MethodProposeC:   "PROPOSE_C",
+		value.MethodProposeP:   "PROPOSE_P",
+		value.MethodDecideP:    "DECIDE_P",
+		value.MethodProposeK:   "PROPOSE_K",
+		value.MethodEnqueue:    "ENQUEUE",
+		value.MethodDequeue:    "DEQUEUE",
+		value.MethodFetchAdd:   "FETCH_ADD",
+		value.MethodTestAndSet: "TEST_AND_SET",
+	}
+	for m, want := range cases {
+		if !m.Valid() {
+			t.Errorf("%s invalid", want)
+		}
+		if got := m.String(); got != want {
+			t.Errorf("Method(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+	if value.Method(0).Valid() || value.Method(200).Valid() {
+		t.Error("invalid methods reported valid")
+	}
+	if got := value.Method(200).String(); got != "METHOD(200)" {
+		t.Errorf("invalid method string = %q", got)
+	}
+}
+
+func TestMethodShapes(t *testing.T) {
+	t.Parallel()
+	// Every method's arg/label shape, pinned.
+	type shape struct{ arg, label bool }
+	cases := map[value.Method]shape{
+		value.MethodRead:       {false, false},
+		value.MethodWrite:      {true, false},
+		value.MethodPropose:    {true, false},
+		value.MethodProposeAt:  {true, true},
+		value.MethodDecide:     {false, true},
+		value.MethodProposeC:   {true, false},
+		value.MethodProposeP:   {true, true},
+		value.MethodDecideP:    {false, true},
+		value.MethodProposeK:   {true, true},
+		value.MethodEnqueue:    {true, false},
+		value.MethodDequeue:    {false, false},
+		value.MethodFetchAdd:   {true, false},
+		value.MethodTestAndSet: {false, false},
+	}
+	for m, want := range cases {
+		if m.TakesArg() != want.arg || m.TakesLabel() != want.label {
+			t.Errorf("%s: TakesArg=%v TakesLabel=%v, want %+v", m, m.TakesArg(), m.TakesLabel(), want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		op   value.Op
+		want string
+	}{
+		{value.Read(), "READ"},
+		{value.Write(5), "WRITE(5)"},
+		{value.Propose(3), "PROPOSE(3)"},
+		{value.ProposeAt(5, 2), "PROPOSE_AT(5, 2)"},
+		{value.Decide(1), "DECIDE(1)"},
+		{value.ProposeC(7), "PROPOSE_C(7)"},
+		{value.ProposeP(7, 3), "PROPOSE_P(7, 3)"},
+		{value.DecideP(3), "DECIDE_P(3)"},
+		{value.ProposeK(9, 4), "PROPOSE_K(9, 4)"},
+		{value.Enqueue(1), "ENQUEUE(1)"},
+		{value.Dequeue(), "DEQUEUE"},
+		{value.FetchAdd(2), "FETCH_ADD(2)"},
+		{value.TestAndSet(), "TEST_AND_SET"},
+	}
+	for _, tc := range cases {
+		if got := tc.op.String(); got != tc.want {
+			t.Errorf("Op.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOpConstructorsFillFields(t *testing.T) {
+	t.Parallel()
+	op := value.ProposeAt(9, 3)
+	if op.Method != value.MethodProposeAt || op.Arg != 9 || op.Label != 3 {
+		t.Fatalf("op = %+v", op)
+	}
+	op = value.Decide(2)
+	if op.Method != value.MethodDecide || op.Label != 2 {
+		t.Fatalf("op = %+v", op)
+	}
+}

@@ -1,0 +1,281 @@
+// Package setagree is a Go reproduction of "Life Beyond Set Agreement"
+// (Chan, Hadzilacos, Toueg; PODC 2017).
+//
+// The package exposes typed, goroutine-safe (linearizable) shared
+// objects for every construct the paper defines — n-PAC objects
+// (Algorithm 1), (n,m)-PAC objects, the strong 2-SA and (n,k)-SA
+// set-agreement objects, n-consensus objects, registers, and the
+// objects O_n and O'_n of §6 — together with a runnable version of
+// Algorithm 2 (solving the n-DAC problem from one n-PAC object) and
+// Herlihy's universal construction.
+//
+// The exhaustive model checker, valency analyzer, protocol DSL, and
+// candidate enumerator that reproduce the paper's theorems live under
+// internal/ and are exercised by the test and benchmark suites; see
+// DESIGN.md and EXPERIMENTS.md.
+package setagree
+
+import (
+	"fmt"
+
+	"setagree/internal/core"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/value"
+)
+
+// Value is a datum proposed to or returned by a shared object.
+type Value = value.Value
+
+// Reserved sentinel values (see internal/value).
+const (
+	// None is the paper's NIL.
+	None = value.None
+	// Bottom is the paper's ⊥.
+	Bottom = value.Bottom
+	// Done acknowledges propose and write operations.
+	Done = value.Done
+)
+
+// Errors surfaced by the typed objects.
+var (
+	// ErrBadOp reports an operation outside an object's interface
+	// (out-of-range label or level, or proposing a sentinel).
+	ErrBadOp = spec.ErrBadOp
+)
+
+// PAC is a linearizable n-PAC object (§3, Algorithm 1): a deterministic,
+// non-abortable simulation of the n-DAC object of [9]. It is safe for
+// concurrent use.
+type PAC struct {
+	n   int
+	obj *spec.Atomic
+}
+
+// NewPAC creates an n-PAC object for labels 1..n.
+func NewPAC(n int) *PAC {
+	return &PAC{n: n, obj: spec.NewAtomic(core.NewPAC(n), nil)}
+}
+
+// N returns the label count.
+func (p *PAC) N() int { return p.n }
+
+// Propose applies PROPOSE(v, i): it simulates the invocation of a
+// propose of v on port i of the simulated n-DAC object. It returns an
+// error only for out-of-range labels or sentinel proposals.
+func (p *PAC) Propose(v Value, i int) error {
+	_, err := p.obj.Apply(value.ProposeAt(v, i))
+	return err
+}
+
+// Decide applies DECIDE(i): it simulates the completion of the propose
+// on port i, returning the consensus value or Bottom (if the object is
+// upset or detected a concurrent operation).
+func (p *PAC) Decide(i int) (Value, error) {
+	return p.obj.Apply(value.Decide(i))
+}
+
+// Upset reports whether the object has become permanently upset (its
+// operation history is not legal, Lemma 3.2).
+func (p *PAC) Upset() bool { return core.IsUpset(p.obj.Snapshot()) }
+
+// Consensus is a linearizable n-consensus object (§4 footnote 6): the
+// first n Propose operations return the first proposed value; later
+// ones return Bottom. Safe for concurrent use.
+type Consensus struct {
+	n   int
+	obj *spec.Atomic
+}
+
+// NewConsensus creates an n-consensus object.
+func NewConsensus(n int) *Consensus {
+	return &Consensus{n: n, obj: spec.NewAtomic(objects.NewConsensus(n), nil)}
+}
+
+// N returns the consensus width.
+func (c *Consensus) N() int { return c.n }
+
+// Propose submits v and returns the object's decision (or Bottom after
+// the object answered n proposals).
+func (c *Consensus) Propose(v Value) (Value, error) {
+	return c.obj.Apply(value.Propose(v))
+}
+
+// SetAgreement is a linearizable strong (n,k)-SA object (§4, §6): at
+// most k distinct responses (the first k distinct proposals), and with
+// a finite participation bound n, Bottom after n proposals. Safe for
+// concurrent use.
+type SetAgreement struct {
+	sa  objects.SetAgreement
+	obj *spec.Atomic
+}
+
+// NewSetAgreement creates an (n,k)-SA object; pass Unbounded for n to
+// serve any number of processes. The chooser resolving which stored
+// value each propose returns defaults to "first stored"; use
+// NewSetAgreementChooser for other adversaries.
+func NewSetAgreement(n, k int) *SetAgreement {
+	return NewSetAgreementChooser(n, k, nil)
+}
+
+// Unbounded, as the n of NewSetAgreement, removes the participation
+// bound.
+const Unbounded = objects.Unbounded
+
+// NewSetAgreementChooser creates an (n,k)-SA object with an explicit
+// nondeterminism policy (see spec.Chooser in internal/spec; nil means
+// first-stored).
+func NewSetAgreementChooser(n, k int, choose spec.Chooser) *SetAgreement {
+	sa := objects.NewSetAgreement(n, k)
+	return &SetAgreement{sa: sa, obj: spec.NewAtomic(sa, choose)}
+}
+
+// NewTwoSA creates the strong 2-SA object of §4 (Algorithm 3).
+func NewTwoSA() *SetAgreement { return NewSetAgreement(Unbounded, 2) }
+
+// Propose submits v and returns one of the stored values (or Bottom
+// once a finite participation bound is exhausted).
+func (s *SetAgreement) Propose(v Value) (Value, error) {
+	return s.obj.Apply(value.Propose(v))
+}
+
+// PACM is a linearizable (n,m)-PAC object (§5): an n-PAC object P
+// combined with an m-consensus object C. Safe for concurrent use.
+// By Theorem 5.3 it sits at level m of the consensus hierarchy.
+type PACM struct {
+	n, m int
+	obj  *spec.Atomic
+}
+
+// NewPACM creates an (n,m)-PAC object.
+func NewPACM(n, m int) *PACM {
+	return &PACM{n: n, m: m, obj: spec.NewAtomic(core.NewPACM(n, m), nil)}
+}
+
+// NewObjectO creates O_n = the (n+1, n)-PAC object (Definition 6.1).
+func NewObjectO(n int) *PACM { return NewPACM(n+1, n) }
+
+// N returns the label count of the PAC component.
+func (p *PACM) N() int { return p.n }
+
+// M returns the width of the consensus component.
+func (p *PACM) M() int { return p.m }
+
+// ProposeC redirects PROPOSE(v) to the m-consensus component.
+func (p *PACM) ProposeC(v Value) (Value, error) {
+	return p.obj.Apply(value.ProposeC(v))
+}
+
+// ProposeP redirects PROPOSE(v, i) to the n-PAC component.
+func (p *PACM) ProposeP(v Value, i int) error {
+	_, err := p.obj.Apply(value.ProposeP(v, i))
+	return err
+}
+
+// DecideP redirects DECIDE(i) to the n-PAC component.
+func (p *PACM) DecideP(i int) (Value, error) {
+	return p.obj.Apply(value.DecideP(i))
+}
+
+// OPrime is a linearizable O'_n object (§6): it embodies a set
+// agreement power (n_1, n_2, ...) as the routed collection of
+// (n_k,k)-SA objects. Safe for concurrent use.
+type OPrime struct {
+	core core.OPrime
+	obj  *spec.Atomic
+}
+
+// PowerSequence maps a level k to the k-set agreement number n_k;
+// return Unbounded for ∞.
+type PowerSequence = core.Sequence
+
+// NewOPrime creates O'_n. A nil power uses the default concrete
+// instantiation n_k = k·n (see DESIGN.md substitution 3).
+func NewOPrime(n int, power PowerSequence) *OPrime {
+	c := core.NewOPrime(n, power)
+	return &OPrime{core: c, obj: spec.NewAtomic(c, nil)}
+}
+
+// Propose applies PROPOSE(v, k), redirected to the (n_k,k)-SA component.
+func (o *OPrime) Propose(v Value, k int) (Value, error) {
+	return o.obj.Apply(value.ProposeK(v, k))
+}
+
+// Register is a linearizable single-value register. Safe for concurrent
+// use.
+type Register struct {
+	obj *spec.Atomic
+}
+
+// NewRegister creates a register initialized to None.
+func NewRegister() *Register {
+	return &Register{obj: spec.NewAtomic(objects.NewRegister(), nil)}
+}
+
+// Read returns the current content.
+func (r *Register) Read() Value {
+	v, err := r.obj.Apply(value.Read())
+	if err != nil {
+		// Read is always within the register interface.
+		panic(fmt.Sprintf("register read: %v", err))
+	}
+	return v
+}
+
+// Write stores v.
+func (r *Register) Write(v Value) {
+	if _, err := r.obj.Apply(value.Write(v)); err != nil {
+		panic(fmt.Sprintf("register write: %v", err))
+	}
+}
+
+// Port is the n-DAC-style view of one label of a PAC object (§3: "a
+// process can use these two operations to simulate a PROPOSE(v, i)
+// operation on an n-DAC object"). TryPropose performs the matched
+// PROPOSE(v, i) / DECIDE(i) pair; a ⊥ decide is surfaced as an abort,
+// exactly the abortable behaviour the n-PAC object simulates.
+type Port struct {
+	pac   *PAC
+	label int
+}
+
+// Port returns the n-DAC-style port for label i (1-based). Each port
+// should be driven by a single process at a time — interleaving two
+// TryPropose calls on one label upsets the object, faithfully to §3.
+func (p *PAC) Port(i int) *Port { return &Port{pac: p, label: i} }
+
+// TryPropose runs one simulated n-DAC propose: it returns the decided
+// value, or aborted = true when the object detected a concurrent
+// operation (the decide returned ⊥).
+func (pt *Port) TryPropose(v Value) (decided Value, aborted bool, err error) {
+	if err := pt.pac.Propose(v, pt.label); err != nil {
+		return None, false, err
+	}
+	temp, err := pt.pac.Decide(pt.label)
+	if err != nil {
+		return None, false, err
+	}
+	if temp == Bottom {
+		return None, true, nil
+	}
+	return temp, false, nil
+}
+
+// Propose retries TryPropose until a value is decided (the
+// non-distinguished loop of Algorithm 2). maxAttempts bounds the
+// retries (0 = unbounded).
+func (pt *Port) Propose(v Value, maxAttempts int) (Value, error) {
+	for attempt := 1; ; attempt++ {
+		decided, aborted, err := pt.TryPropose(v)
+		if err != nil {
+			return None, err
+		}
+		if !aborted {
+			return decided, nil
+		}
+		if maxAttempts > 0 && attempt >= maxAttempts {
+			return None, fmt.Errorf("port %d: no decision after %d attempts: %w",
+				pt.label, attempt, ErrBadOp)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+package setagree_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"setagree"
+)
+
+func TestPACFacade(t *testing.T) {
+	t.Parallel()
+	d := setagree.NewPAC(3)
+	if d.N() != 3 {
+		t.Fatal("N")
+	}
+	if err := d.Propose(7, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Decide(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("decide = %s", v)
+	}
+	if d.Upset() {
+		t.Fatal("legal history upset the object")
+	}
+	// Orphan decide upsets.
+	if _, err := d.Decide(1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Upset() {
+		t.Fatal("orphan decide did not upset")
+	}
+}
+
+func TestPACFacadeBadOps(t *testing.T) {
+	t.Parallel()
+	d := setagree.NewPAC(2)
+	if err := d.Propose(1, 0); !errors.Is(err, setagree.ErrBadOp) {
+		t.Fatalf("label 0: %v", err)
+	}
+	if err := d.Propose(setagree.Bottom, 1); !errors.Is(err, setagree.ErrBadOp) {
+		t.Fatalf("sentinel proposal: %v", err)
+	}
+	if _, err := d.Decide(5); !errors.Is(err, setagree.ErrBadOp) {
+		t.Fatalf("label 5: %v", err)
+	}
+}
+
+func TestConsensusFacade(t *testing.T) {
+	t.Parallel()
+	c := setagree.NewConsensus(2)
+	v, err := c.Propose(4)
+	if err != nil || v != 4 {
+		t.Fatalf("first: %s, %v", v, err)
+	}
+	v, err = c.Propose(5)
+	if err != nil || v != 4 {
+		t.Fatalf("second: %s, %v", v, err)
+	}
+	v, err = c.Propose(6)
+	if err != nil || v != setagree.Bottom {
+		t.Fatalf("third: %s, %v", v, err)
+	}
+}
+
+func TestTwoSAFacade(t *testing.T) {
+	t.Parallel()
+	s := setagree.NewTwoSA()
+	seen := map[setagree.Value]bool{}
+	for i := 0; i < 10; i++ {
+		v, err := s.Propose(setagree.Value(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[v] = true
+	}
+	if len(seen) > 2 {
+		t.Fatalf("2-SA returned %d distinct values", len(seen))
+	}
+}
+
+func TestSetAgreementFacadeBound(t *testing.T) {
+	t.Parallel()
+	s := setagree.NewSetAgreement(2, 1)
+	if _, err := s.Propose(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Propose(2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Propose(3)
+	if err != nil || v != setagree.Bottom {
+		t.Fatalf("beyond bound: %s, %v", v, err)
+	}
+}
+
+func TestPACMFacade(t *testing.T) {
+	t.Parallel()
+	o := setagree.NewObjectO(3) // (4,3)-PAC
+	if o.N() != 4 || o.M() != 3 {
+		t.Fatalf("N=%d M=%d", o.N(), o.M())
+	}
+	v, err := o.ProposeC(9)
+	if err != nil || v != 9 {
+		t.Fatalf("ProposeC: %s, %v", v, err)
+	}
+	if err := o.ProposeP(5, 4); err != nil {
+		t.Fatal(err)
+	}
+	v, err = o.DecideP(4)
+	if err != nil || v != 5 {
+		t.Fatalf("DecideP: %s, %v", v, err)
+	}
+}
+
+func TestOPrimeFacade(t *testing.T) {
+	t.Parallel()
+	o := setagree.NewOPrime(2, nil)
+	v, err := o.Propose(3, 1)
+	if err != nil || v != 3 {
+		t.Fatalf("level 1: %s, %v", v, err)
+	}
+	// Level 2 serves n_2 = 4 proposals.
+	for i := 0; i < 4; i++ {
+		if _, err := o.Propose(setagree.Value(i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err = o.Propose(9, 2)
+	if err != nil || v != setagree.Bottom {
+		t.Fatalf("level 2 beyond n_2: %s, %v", v, err)
+	}
+	if _, err := o.Propose(1, 0); !errors.Is(err, setagree.ErrBadOp) {
+		t.Fatalf("level 0: %v", err)
+	}
+}
+
+func TestRegisterFacade(t *testing.T) {
+	t.Parallel()
+	r := setagree.NewRegister()
+	if v := r.Read(); v != setagree.None {
+		t.Fatalf("initial read %s", v)
+	}
+	r.Write(6)
+	if v := r.Read(); v != 6 {
+		t.Fatalf("read %s", v)
+	}
+}
+
+// TestRunDACBasic runs Algorithm 2 live across goroutines for a sweep
+// of sizes and distinguished positions, checking the §4 properties on
+// every outcome (Theorem 4.1 live).
+func TestRunDACBasic(t *testing.T) {
+	t.Parallel()
+	for n := 2; n <= 6; n++ {
+		for p := 1; p <= n; p += n - 1 { // first and last position
+			inputs := make([]setagree.Value, n)
+			inputs[p-1] = 1
+			results, err := setagree.RunDAC(n, p, inputs, 0)
+			if err != nil {
+				t.Fatalf("n=%d p=%d: %v", n, p, err)
+			}
+			if err := setagree.CheckDACOutcome(inputs, results, p); err != nil {
+				t.Fatalf("n=%d p=%d: %v", n, p, err)
+			}
+			for q, r := range results {
+				if q+1 != p && !r.Aborted && r.Decision != 0 && r.Decision != 1 {
+					t.Fatalf("n=%d p=%d q=%d: decision %s", n, p, q+1, r.Decision)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDACManyRounds hammers RunDAC to catch rare interleavings.
+func TestRunDACManyRounds(t *testing.T) {
+	t.Parallel()
+	const n, p = 4, 2
+	for round := 0; round < 100; round++ {
+		inputs := []setagree.Value{0, 1, 0, 1}
+		results, err := setagree.RunDAC(n, p, inputs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := setagree.CheckDACOutcome(inputs, results, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunDACValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := setagree.RunDAC(1, 1, []setagree.Value{0}, 0); !errors.Is(err, setagree.ErrBadDAC) {
+		t.Fatalf("n=1: %v", err)
+	}
+	if _, err := setagree.RunDAC(2, 3, []setagree.Value{0, 1}, 0); !errors.Is(err, setagree.ErrBadDAC) {
+		t.Fatalf("p out of range: %v", err)
+	}
+	if _, err := setagree.RunDAC(2, 1, []setagree.Value{0}, 0); !errors.Is(err, setagree.ErrBadDAC) {
+		t.Fatalf("input arity: %v", err)
+	}
+	if _, err := setagree.RunDAC(2, 1, []setagree.Value{0, 7}, 0); !errors.Is(err, setagree.ErrBadDAC) {
+		t.Fatalf("non-binary input: %v", err)
+	}
+}
+
+func TestCheckDACOutcomeRejects(t *testing.T) {
+	t.Parallel()
+	inputs := []setagree.Value{1, 0}
+	bad := []setagree.DACResult{{Decision: 1}, {Decision: 0}}
+	if err := setagree.CheckDACOutcome(inputs, bad, 1); !errors.Is(err, setagree.ErrBadDAC) {
+		t.Fatalf("disagreement: %v", err)
+	}
+	badAbort := []setagree.DACResult{{Decision: 1}, {Aborted: true}}
+	if err := setagree.CheckDACOutcome(inputs, badAbort, 1); !errors.Is(err, setagree.ErrBadDAC) {
+		t.Fatalf("non-distinguished abort: %v", err)
+	}
+}
+
+// TestConcurrentPACClients checks the typed PAC object under heavy
+// concurrent use from goroutines mixing labels.
+func TestConcurrentPACClients(t *testing.T) {
+	t.Parallel()
+	const n = 8
+	d := setagree.NewPAC(n)
+	var wg sync.WaitGroup
+	decisions := make([]setagree.Value, n)
+	for q := 1; q <= n; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for {
+				if err := d.Propose(setagree.Value(q), q); err != nil {
+					t.Errorf("propose: %v", err)
+					return
+				}
+				v, err := d.Decide(q)
+				if err != nil {
+					t.Errorf("decide: %v", err)
+					return
+				}
+				if v != setagree.Bottom {
+					decisions[q-1] = v
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	for q := 1; q < n; q++ {
+		if decisions[q] != decisions[0] {
+			t.Fatalf("agreement violated: %v", decisions)
+		}
+	}
+	if d.Upset() {
+		t.Fatal("disciplined clients upset the object")
+	}
+}
+
+func TestUniversalQueueFacade(t *testing.T) {
+	t.Parallel()
+	u, err := setagree.NewUniversalQueue(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := u.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := u.Handle(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Enqueue(5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h2.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("dequeue = %s", v)
+	}
+	// Mismatched method against the queue target.
+	if _, err := h1.FetchAdd(1); !errors.Is(err, setagree.ErrBadOp) {
+		t.Fatalf("FetchAdd on queue: %v", err)
+	}
+}
+
+func TestUniversalCounterFacade(t *testing.T) {
+	t.Parallel()
+	u, err := setagree.NewUniversalCounter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 1; p <= 3; p++ {
+		h, err := u.Handle(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *setagree.UniversalHandle) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := h.FetchAdd(1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	h, err := u.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := h.FetchAdd(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 30 {
+		t.Fatalf("total = %s, want 30", total)
+	}
+}
+
+func TestUniversalPACFacade(t *testing.T) {
+	t.Parallel()
+	u, err := setagree.NewUniversalPAC(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := u.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PACPropose(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.PACDecide(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("universal PAC decide = %s", v)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	t.Parallel()
+	if setagree.Bottom.String() != "⊥" || setagree.None.String() != "NIL" || setagree.Done.String() != "done" {
+		t.Fatal("sentinel rendering")
+	}
+	if !setagree.Bottom.IsSentinel() || setagree.Value(0).IsSentinel() {
+		t.Fatal("IsSentinel")
+	}
+}
+
+// TestPACPortSimulatesDAC drives the §3 simulation view: TryPropose
+// surfaces ⊥ as an abort; retries succeed once the contention clears.
+func TestPACPortSimulatesDAC(t *testing.T) {
+	t.Parallel()
+	d := setagree.NewPAC(3)
+	p1, p2 := d.Port(1), d.Port(2)
+
+	// Force an abort: interleave a propose (label 3, one-shot) between
+	// p1's pair using the raw operations.
+	if err := d.Propose(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Propose(7, 3); err != nil { // intervenes
+		t.Fatal(err)
+	}
+	v, err := d.Decide(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != setagree.Bottom {
+		t.Fatalf("expected ⊥ under contention, got %s", v)
+	}
+	// Clear label 3's pending propose to keep the history legal.
+	if _, err := d.Decide(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// p2 completes its pair: decides a value.
+	got, err := p2.Propose(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// p1 retries through the port and must agree with p2.
+	v1, aborted, err := p1.TryPropose(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aborted {
+		if v1 != got {
+			t.Fatalf("agreement: port1=%s port2=%s", v1, got)
+		}
+	}
+	if d.Upset() {
+		t.Fatal("disciplined port usage upset the object")
+	}
+}
+
+// TestPACPortConcurrent runs one port per goroutine; everyone decides
+// the same value.
+func TestPACPortConcurrent(t *testing.T) {
+	t.Parallel()
+	const n = 6
+	d := setagree.NewPAC(n)
+	decisions := make([]setagree.Value, n)
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := d.Port(i).Propose(setagree.Value(i), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			decisions[i-1] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if decisions[i] != decisions[0] {
+			t.Fatalf("agreement violated: %v", decisions)
+		}
+	}
+}
+
+// TestPACPortMaxAttempts pins the bounded-retry contract.
+func TestPACPortMaxAttempts(t *testing.T) {
+	t.Parallel()
+	d := setagree.NewPAC(2)
+	// Upset the object: every decide returns ⊥ forever, so the port can
+	// never decide.
+	if _, err := d.Decide(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Port(1).Propose(4, 3); !errors.Is(err, setagree.ErrBadOp) {
+		t.Fatalf("err = %v, want ErrBadOp after bounded retries", err)
+	}
+}
+
+// TestSafeAgreementFacade exercises the BG primitive through the public
+// API.
+func TestSafeAgreementFacade(t *testing.T) {
+	t.Parallel()
+	sa := setagree.NewSafeAgreement(3)
+	if _, ok := sa.Resolve(); ok {
+		t.Fatal("resolved before proposes")
+	}
+	if err := sa.Propose(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := sa.Resolve()
+	if !ok || v != 9 {
+		t.Fatalf("resolve = %s, %v", v, ok)
+	}
+}
+
+// TestKSetAgreementFacade exercises the BG k-set protocol through the
+// public API.
+func TestKSetAgreementFacade(t *testing.T) {
+	t.Parallel()
+	const procs, k = 5, 2
+	ks := setagree.NewKSetAgreement(k, procs)
+	var wg sync.WaitGroup
+	decisions := make([]setagree.Value, procs)
+	for i := 1; i <= procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, ok, err := ks.Propose(i, setagree.Value(10*i), 0)
+			if err != nil || !ok {
+				t.Errorf("process %d: %v %v", i, ok, err)
+				return
+			}
+			decisions[i-1] = v
+		}(i)
+	}
+	wg.Wait()
+	distinct := map[setagree.Value]bool{}
+	for _, d := range decisions {
+		distinct[d] = true
+	}
+	if len(distinct) > k {
+		t.Fatalf("%d distinct decisions exceed k=%d", len(distinct), k)
+	}
+}

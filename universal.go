@@ -1,0 +1,99 @@
+package setagree
+
+import (
+	"setagree/internal/core"
+	"setagree/internal/objects"
+	"setagree/internal/universal"
+	"setagree/internal/value"
+)
+
+// Universal is a wait-free linearizable object for n processes built
+// from n-consensus objects and registers via Herlihy's universal
+// construction [10] — the motivating theorem of the paper's
+// introduction ("instances of any object with consensus number n,
+// together with registers, can implement any object shared by up to n
+// processes"). Obtain one per-process UniversalHandle and call the
+// typed operation that matches the construction's target; operations
+// outside the target's interface return ErrBadOp.
+type Universal struct {
+	u *universal.Universal
+}
+
+// NewUniversalQueue builds a wait-free FIFO queue for n processes from
+// consensus objects and registers.
+func NewUniversalQueue(n int) (*Universal, error) {
+	u, err := universal.New(objects.NewQueue(), n)
+	if err != nil {
+		return nil, err
+	}
+	return &Universal{u: u}, nil
+}
+
+// NewUniversalCounter builds a wait-free fetch&add counter for n
+// processes from consensus objects and registers.
+func NewUniversalCounter(n int) (*Universal, error) {
+	u, err := universal.New(objects.NewCounter(), n)
+	if err != nil {
+		return nil, err
+	}
+	return &Universal{u: u}, nil
+}
+
+// NewUniversalPAC builds a wait-free labels-PAC object for n processes
+// from consensus objects and registers — the paper's own object as a
+// universal-construction target (it is deterministic, so Corollary
+// 6.7's subject is implementable this way once enough consensus power
+// is granted).
+func NewUniversalPAC(labels, n int) (*Universal, error) {
+	u, err := universal.New(core.NewPAC(labels), n)
+	if err != nil {
+		return nil, err
+	}
+	return &Universal{u: u}, nil
+}
+
+// Procs returns the number of supported processes.
+func (u *Universal) Procs() int { return u.u.Procs() }
+
+// Handle returns process i's (1-based) access point. Each process must
+// use its own handle; a handle is not safe for concurrent use.
+func (u *Universal) Handle(i int) (*UniversalHandle, error) {
+	h, err := u.u.Handle(i)
+	if err != nil {
+		return nil, err
+	}
+	return &UniversalHandle{h: h}, nil
+}
+
+// UniversalHandle is one process's access point to a Universal object.
+type UniversalHandle struct {
+	h *universal.Handle
+}
+
+// Enqueue appends v to a universal queue.
+func (h *UniversalHandle) Enqueue(v Value) error {
+	_, err := h.h.Apply(value.Enqueue(v))
+	return err
+}
+
+// Dequeue removes and returns the head of a universal queue (None when
+// empty at the operation's linearization point).
+func (h *UniversalHandle) Dequeue() (Value, error) {
+	return h.h.Apply(value.Dequeue())
+}
+
+// FetchAdd adds v to a universal counter and returns the prior total.
+func (h *UniversalHandle) FetchAdd(v Value) (Value, error) {
+	return h.h.Apply(value.FetchAdd(v))
+}
+
+// PACPropose applies PROPOSE(v, i) to a universal PAC object.
+func (h *UniversalHandle) PACPropose(v Value, i int) error {
+	_, err := h.h.Apply(value.ProposeAt(v, i))
+	return err
+}
+
+// PACDecide applies DECIDE(i) to a universal PAC object.
+func (h *UniversalHandle) PACDecide(i int) (Value, error) {
+	return h.h.Apply(value.Decide(i))
+}
