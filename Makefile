@@ -1,0 +1,28 @@
+# Verification targets. `make verify` is the full gate every change
+# must pass: vet + build + tests + the race detector on the packages
+# that run goroutines (the parallel sweep engine in enumerate, the
+# explorer it drives, and the lincheck fuzzer).
+
+GO ?= go
+
+.PHONY: verify vet build test race bench experiments
+
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -8,6 +8,7 @@ package setagree_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -203,7 +204,10 @@ func BenchmarkModelCheckDAC(b *testing.B) {
 
 // --- E3: candidate-family falsification ------------------------------
 
-// BenchmarkEnumerateDAC measures the depth-1 Theorem 4.2 sweep.
+// BenchmarkEnumerateDAC measures the depth-1 Theorem 4.2 sweep across
+// worker counts (the -workers dimension: the sweep engine fans the
+// candidate model checks out to a goroutine pool with a byte-identical
+// Report at every setting, so this measures pure speedup).
 func BenchmarkEnumerateDAC(b *testing.B) {
 	fam := &enumerate.Family{
 		Objects: []spec.Spec{objects.NewConsensus(2), objects.NewRegister(), objects.NewTwoSA()},
@@ -220,19 +224,27 @@ func BenchmarkEnumerateDAC(b *testing.B) {
 		},
 	}
 	vectors := [][]value.Value{{1, 0, 0}, {0, 1, 1}, {0, 0, 0}, {1, 1, 1}}
-	candidates := 0
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		rep, err := enumerate.FalsifyDAC(fam, 3, vectors, enumerate.SweepOptions{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rep.Solvers) != 0 {
-			b.Fatal("solver found")
-		}
-		candidates = rep.Candidates
+	workerCounts := []int{1, 2, 4}
+	if max := runtime.GOMAXPROCS(0); max > 4 {
+		workerCounts = append(workerCounts, max)
 	}
-	b.ReportMetric(float64(candidates), "candidates")
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			candidates := 0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := enumerate.FalsifyDAC(fam, 3, vectors, enumerate.SweepOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Solvers) != 0 {
+					b.Fatal("solver found")
+				}
+				candidates = rep.Candidates
+			}
+			b.ReportMetric(float64(candidates), "candidates")
+		})
+	}
 }
 
 // --- E5: (n,m)-PAC level --------------------------------------------

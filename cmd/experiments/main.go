@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-v]
+//	experiments [-quick] [-v] [-workers N]
 //
 // -quick trims the heavier rows (depth-2 sweeps, n >= 5 state spaces).
-// Exit status 0 iff every experiment matches the paper's claim.
+// -workers sets the goroutine count for the falsification sweeps
+// (default: GOMAXPROCS); verdicts are identical at every setting.
+// With -v the sweeps additionally report live progress. Exit status 0
+// iff every experiment matches the paper's claim.
 package main
 
 import (
@@ -47,6 +50,7 @@ type runner struct {
 	rows    []row
 	quick   bool
 	verbose bool
+	workers int
 	out     io.Writer
 }
 
@@ -54,11 +58,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "trim the heavier experiments")
-	verbose := fs.Bool("v", false, "print each row as it finishes")
+	verbose := fs.Bool("v", false, "print each row as it finishes, with sweep progress")
+	workers := fs.Int("workers", 0, "worker goroutines per falsification sweep (default GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	r := &runner{quick: *quick, verbose: *verbose, out: stdout}
+	r := &runner{quick: *quick, verbose: *verbose, workers: *workers, out: stdout}
 
 	r.e2Algorithm2()
 	r.e3Falsification()
@@ -146,9 +151,10 @@ func (r *runner) e2Algorithm2() {
 	}
 }
 
-// e3Falsification: Theorem 4.2's bounded-family sweep.
-func (r *runner) e3Falsification() {
-	fam := &enumerate.Family{
+// theorem42Family is the Theorem 4.2 object base {2-consensus,
+// register, 2-SA} with its 4-entry invocation menu.
+func theorem42Family(depth int) *enumerate.Family {
+	return &enumerate.Family{
 		Objects: []spec.Spec{objects.NewConsensus(2), objects.NewRegister(), objects.NewTwoSA()},
 		Menu: []enumerate.Invoke{
 			{Obj: 0, Method: value.MethodPropose, Arg: enumerate.ArgInput},
@@ -156,43 +162,75 @@ func (r *runner) e3Falsification() {
 			{Obj: 1, Method: value.MethodRead},
 			{Obj: 2, Method: value.MethodPropose, Arg: enumerate.ArgInput},
 		},
-		Depth: 1,
+		Depth: depth,
 		Actions: []enumerate.Action{
 			enumerate.ActDecideInput, enumerate.ActDecideLast, enumerate.ActDecideFirst,
 			enumerate.ActDecideZero, enumerate.ActDecideOne, enumerate.ActRetry,
 		},
 	}
-	var vectors [][]value.Value
-	for mask := 0; mask < 8; mask++ {
-		in := make([]value.Value, 3)
+}
+
+// binaryVectors returns all 2^n binary input vectors.
+func binaryVectors(n int) [][]value.Value {
+	var out [][]value.Value
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		in := make([]value.Value, n)
 		for i := range in {
 			if mask&(1<<uint(i)) != 0 {
 				in[i] = 1
 			}
 		}
-		vectors = append(vectors, in)
+		out = append(out, in)
 	}
+	return out
+}
+
+// sweepOptions wires the -workers flag and, with -v, live progress into
+// a falsification sweep.
+func (r *runner) sweepOptions(id string) enumerate.SweepOptions {
+	opts := enumerate.SweepOptions{Workers: r.workers}
+	if r.verbose {
+		opts.OnProgress = func(p enumerate.Progress) {
+			if p.Candidates%1000 == 0 {
+				fmt.Fprintf(r.out, "[%s] progress: %d candidates (%d pruned, %d inconclusive), %d states explored\n",
+					id, p.Candidates, p.Pruned, p.Inconclusive, p.States)
+			}
+		}
+	}
+	return opts
+}
+
+// sweepVerdict folds a sweep into a row verdict: the impossibility
+// claim holds only if candidates were checked, none solved the task,
+// and none was left inconclusive by the state limit.
+func sweepVerdict(rep *enumerate.Report, err error) (bool, string) {
+	if err != nil {
+		return false, err.Error()
+	}
+	ok := len(rep.Solvers) == 0 && len(rep.Inconclusive) == 0 && rep.Candidates > 0
+	return ok, fmt.Sprintf("%d candidates, %d inconclusive, %d solvers",
+		rep.Candidates, len(rep.Inconclusive), len(rep.Solvers))
+}
+
+// e3Falsification: Theorem 4.2's bounded-family sweep.
+func (r *runner) e3Falsification() {
+	vectors := binaryVectors(3)
 	depths := []int{1}
 	if !r.quick {
 		depths = append(depths, 2)
 	}
 	for _, d := range depths {
-		fam.Depth = d
 		start := time.Now()
-		rep, err := enumerate.FalsifyDAC(fam, 3, vectors, enumerate.SweepOptions{})
-		ok := err == nil && len(rep.Solvers) == 0 && rep.Candidates > 0
-		detail := ""
-		if err != nil {
-			detail = err.Error()
-		} else {
-			detail = fmt.Sprintf("%d candidates, 0 solvers", rep.Candidates)
-		}
+		rep, err := enumerate.FalsifyDAC(theorem42Family(d), 3, vectors, r.sweepOptions("E3"))
+		ok, detail := sweepVerdict(rep, err)
 		r.add("E3", "Thm 4.2: no 3-DAC from {2-cons, reg, 2-SA}",
 			fmt.Sprintf("depth-%d family", d), ok, detail, time.Since(start))
 	}
 }
 
-// e5PACMLevel: Theorem 5.3's positive half.
+// e5PACMLevel: Theorem 5.3's positive half, plus the Theorem 5.2
+// negative shape at family scale: no depth-1 candidate over the level-2
+// base solves 3-consensus.
 func (r *runner) e5PACMLevel() {
 	for _, m := range []int{2, 3} {
 		start := time.Now()
@@ -204,6 +242,12 @@ func (r *runner) e5PACMLevel() {
 		}
 		r.add("E5", "Thm 5.3: (n,m)-PAC solves m-consensus", fmt.Sprintf("m=%d", m), ok, detail, time.Since(start))
 	}
+
+	start := time.Now()
+	rep, err := enumerate.FalsifySymmetric(theorem42Family(1), task.Consensus{N: 3},
+		binaryVectors(3), r.sweepOptions("E5"))
+	ok, detail := sweepVerdict(rep, err)
+	r.add("E5", "Thm 5.2 (-): no 3-consensus at level 2", "depth-1 family", ok, detail, time.Since(start))
 }
 
 // e7SamePower: Corollary 6.6's positive halves (n = 2, k = 1..2).
@@ -243,7 +287,10 @@ func (r *runner) e7SamePower() {
 	}
 }
 
-// e8Theorem71: Observation 5.1(b) route — (n,m)-PAC solves n-DAC.
+// e8Theorem71: Observation 5.1(b) route — (n,m)-PAC solves n-DAC — and
+// the unimplementability shape: no bounded-family candidate over
+// {2-consensus, register} (Theorem 7.1's base without the PAC object)
+// solves 3-DAC.
 func (r *runner) e8Theorem71() {
 	start := time.Now()
 	ok, detail, err := checkSolved(programs.Algorithm2ViaPACM(3, 2, 1),
@@ -253,6 +300,24 @@ func (r *runner) e8Theorem71() {
 		ok = false
 	}
 	r.add("E8", "Thm 7.1 (+): (4,2)-PAC face solves 3-DAC", "n=3, m=2", ok, detail, time.Since(start))
+
+	fam := &enumerate.Family{
+		Objects: []spec.Spec{objects.NewConsensus(2), objects.NewRegister()},
+		Menu: []enumerate.Invoke{
+			{Obj: 0, Method: value.MethodPropose, Arg: enumerate.ArgInput},
+			{Obj: 1, Method: value.MethodWrite, Arg: enumerate.ArgInput},
+			{Obj: 1, Method: value.MethodRead},
+		},
+		Depth: 1,
+		Actions: []enumerate.Action{
+			enumerate.ActDecideInput, enumerate.ActDecideLast, enumerate.ActDecideFirst,
+			enumerate.ActDecideZero, enumerate.ActDecideOne, enumerate.ActRetry,
+		},
+	}
+	start = time.Now()
+	rep, sweepErr := enumerate.FalsifyDAC(fam, 3, binaryVectors(3), r.sweepOptions("E8"))
+	ok, detail = sweepVerdict(rep, sweepErr)
+	r.add("E8", "Thm 7.1 (-): no 3-DAC from {2-cons, reg}", "depth-1 family", ok, detail, time.Since(start))
 }
 
 // e10Hierarchy: partition lower bounds and classic level-2 protocols.

@@ -29,6 +29,50 @@ func TestQuickSuiteAllMatch(t *testing.T) {
 	}
 }
 
+// TestWorkersFlag: the sweeps' verdict table is identical at every
+// worker count (only timings may differ), and still all-MATCH.
+func TestWorkersFlag(t *testing.T) {
+	t.Parallel()
+	table := func(workers string) string {
+		t.Helper()
+		var out, errOut bytes.Buffer
+		code := run([]string{"-quick", "-workers", workers}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d\nstderr: %s", workers, code, errOut.String())
+		}
+		// Strip the trailing timing line ("N experiments in ...").
+		lines := strings.Split(out.String(), "\n")
+		var kept []string
+		for _, l := range lines {
+			if strings.Contains(l, " experiments in ") {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		return strings.Join(kept, "\n")
+	}
+	seq := table("1")
+	par := table("8")
+	if seq != par {
+		t.Errorf("verdict tables differ between -workers 1 and 8:\n%s\nvs\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "inconclusive") {
+		t.Error("sweep rows do not report the inconclusive count")
+	}
+}
+
+// TestVerboseSweepProgress: -v streams sweep progress lines.
+func TestVerboseSweepProgress(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-v", "-workers", "4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "progress:") {
+		t.Error("no sweep progress lines in verbose output")
+	}
+}
+
 func TestVerboseFlag(t *testing.T) {
 	t.Parallel()
 	var out, errOut bytes.Buffer

@@ -20,9 +20,14 @@
 // consensus-direct, consensus-queue, consensus-tas, partition,
 // partition-on, kset-sa, kset-oprime, kset-oprime-base, chaudhuri,
 // naive-2sa, oversub, dac-attempt.
+//
+// Exit status: 0 solved, 1 refuted, 2 usage or internal error, 3
+// inconclusive (the -max-states cap was hit; the partial exploration
+// counts are printed).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -101,6 +106,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "protocol: %s\n", prot.Name)
 	fmt.Fprintf(stdout, "task:     %s, inputs %v\n", tsk.Name(), inputs)
 	rep, err := explore.Check(sys, tsk, explore.Options{Valency: c.valency, MaxStates: c.maxStates})
+	if errors.Is(err, explore.ErrStateLimit) {
+		fmt.Fprintf(stdout, "explored: %d configurations, %d transitions (partial)\n",
+			rep.States, rep.Transitions)
+		fmt.Fprintf(stdout, "verdict:  INCONCLUSIVE — %v (raise -max-states)\n", err)
+		return 3
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "explore: %v\n", err)
 		return 2

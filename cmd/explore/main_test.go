@@ -90,6 +90,26 @@ func TestNamedProtocols(t *testing.T) {
 	}
 }
 
+// TestStateLimitInconclusive: hitting -max-states reports the partial
+// exploration with a dedicated verdict and exit code instead of a bare
+// error, and the printed partial counts are self-consistent.
+func TestStateLimitInconclusive(t *testing.T) {
+	t.Parallel()
+	code, out, errOut := runCLI(t, "-protocol", "alg2", "-n", "3", "-p", "1", "-max-states", "10")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "INCONCLUSIVE") {
+		t.Errorf("verdict missing: %s", out)
+	}
+	if !strings.Contains(out, "11 configurations") {
+		t.Errorf("partial state count missing (want 11 = cap+1): %s", out)
+	}
+	if strings.Contains(out, " 0 configurations") {
+		t.Errorf("partial report lost its state count: %s", out)
+	}
+}
+
 func TestAsmProtocol(t *testing.T) {
 	t.Parallel()
 	dir := t.TempDir()

@@ -257,17 +257,28 @@ type Assignment struct {
 	Shapes []Shape
 }
 
-// Report summarizes a falsification sweep.
+// Report summarizes a falsification sweep. Its contents depend only on
+// the candidate order, never on scheduling: sweeps aggregate worker
+// results by candidate index, so the same sweep renders byte-identically
+// at any SweepOptions.Workers setting.
 type Report struct {
 	// Candidates is the number of protocol assignments checked.
 	Candidates int
 	// Pruned counts assignments rejected by the cheap solo prefilter.
 	Pruned int
+	// States is the total number of configurations explored across all
+	// model checks, partial (state-limited) explorations included.
+	States int
 	// Solvers lists assignments that passed every check (expected empty
-	// for impossibility experiments).
+	// for impossibility experiments), in candidate order.
 	Solvers []Assignment
-	// SampleFailure is one refuted assignment with its violation, for
-	// reporting.
+	// Inconclusive lists assignments the sweep could not settle: some
+	// model check hit SweepOptions.MaxStatesPerCandidate and no input
+	// vector refuted the assignment. They are listed in candidate order;
+	// re-run with a larger limit to settle them.
+	Inconclusive []Inconclusive
+	// SampleFailure is the refuted assignment with the lowest candidate
+	// index, with its violation, for reporting.
 	SampleFailure *Failure
 }
 
@@ -278,5 +289,15 @@ type Failure struct {
 	// Violation is the checker's counterexample.
 	Violation *explore.Violation
 	// Inputs is the input vector it failed on.
+	Inputs []value.Value
+}
+
+// Inconclusive is one candidate the sweep could not settle: the model
+// check exceeded the per-candidate state limit on Inputs, and no other
+// input vector refuted the candidate.
+type Inconclusive struct {
+	// Assignment is the unsettled candidate.
+	Assignment Assignment
+	// Inputs is the first input vector whose check hit the state limit.
 	Inputs []value.Value
 }

@@ -3,27 +3,39 @@ package enumerate
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"setagree/internal/explore"
 	"setagree/internal/machine"
 	"setagree/internal/sim"
+	"setagree/internal/spec"
 	"setagree/internal/task"
 	"setagree/internal/value"
 )
 
-// ErrInconclusive reports candidates whose state space exceeded the
-// per-candidate limit, so the sweep could not refute them outright.
-var ErrInconclusive = errors.New("enumerate: candidate exceeded state limit")
-
 // SweepOptions tunes a falsification sweep.
 type SweepOptions struct {
 	// MaxStatesPerCandidate caps each model check (default 1 << 15).
+	// A candidate that exceeds the cap on some input vector is recorded
+	// in Report.Inconclusive (unless another vector refutes it); it does
+	// not abort the sweep.
 	MaxStatesPerCandidate int
 	// SoloSteps caps the solo prefilter run length (default 64).
 	SoloSteps int
 	// DisableSoloFilter skips the cheap solo prefilter and model-checks
 	// every shape (the ablation knob: measures what the prefilter buys).
 	DisableSoloFilter bool
+	// Workers is the number of goroutines model-checking candidates
+	// (default runtime.GOMAXPROCS(0)). The Report is identical for every
+	// worker count: results are aggregated by candidate index.
+	Workers int
+	// OnProgress, when set, receives a snapshot after each candidate
+	// completes. Calls are serialized and counters are nondecreasing,
+	// but with Workers > 1 the completion order is not the candidate
+	// order. The callback must not call back into the sweep.
+	OnProgress func(Progress)
 }
 
 func (o *SweepOptions) fill() {
@@ -33,10 +45,29 @@ func (o *SweepOptions) fill() {
 	if o.SoloSteps <= 0 {
 		o.SoloSteps = 64
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Progress is a live snapshot of a running sweep, delivered to
+// SweepOptions.OnProgress.
+type Progress struct {
+	// Candidates is the number of candidates fully checked so far.
+	Candidates int
+	// Pruned is the number of shapes rejected by the solo prefilter
+	// (fixed before candidate checking starts).
+	Pruned int
+	// Inconclusive is the number of candidates whose model check hit the
+	// state limit so far.
+	Inconclusive int
+	// States is the total number of configurations explored across all
+	// model checks so far (partial explorations included).
+	States int
 }
 
 // soloFilter cheaply rejects a shape by running its program solo (as
-// process 1 of a 1-process system over fresh objects) on inputs 0 and
+// process 0 of a 1-process system over fresh objects) on inputs 0 and
 // 1. A surviving shape decides its own input in both solo runs — a
 // necessary condition for any role of consensus-like tasks and n-DAC
 // (Validity + Nontriviality + solo termination, cf. Claim 4.2.4's solo
@@ -70,12 +101,13 @@ func (f *Family) soloFilter(s Shape, opts SweepOptions) (bool, error) {
 }
 
 // FalsifyDAC sweeps the family over the n-DAC task with n processes:
-// process 1 is the distinguished process and runs a shape from the
-// abort-enabled family; processes 2..n all run a common shape from the
-// abort-free family. Every (p-shape, q-shape) pair surviving the solo
-// prefilter is model-checked on every given input vector; a pair that
-// passes all of them is recorded as a solver (the impossibility
-// experiments expect none).
+// process 0 is the distinguished process and runs a shape from the
+// abort-enabled family; processes 1..n-1 all run a common shape from
+// the abort-free family. Every (p-shape, q-shape) pair surviving the
+// solo prefilter is model-checked on every given input vector; a pair
+// that passes all of them is recorded as a solver (the impossibility
+// experiments expect none), and a pair whose check blows the state
+// limit is recorded as inconclusive.
 func FalsifyDAC(f *Family, n int, inputVectors [][]value.Value, opts SweepOptions) (*Report, error) {
 	opts.fill()
 	pFam := *f
@@ -92,35 +124,37 @@ func FalsifyDAC(f *Family, n int, inputVectors [][]value.Value, opts SweepOption
 		return nil, err
 	}
 
-	rep := &Report{
-		Pruned: (len(pFam.Shapes()) - len(pShapes)) + (len(qFam.Shapes()) - len(qShapes)),
+	qProgs := make([]*machine.Program, len(qShapes))
+	for qi, qs := range qShapes {
+		if qProgs[qi], err = qFam.Program(qs, "cand-q"); err != nil {
+			return nil, err
+		}
 	}
-	tsk := task.DAC{N: n, P: 0}
+
+	cands := make([]candidate, 0, len(pShapes)*len(qShapes))
 	for _, ps := range pShapes {
 		pProg, err := pFam.Program(ps, "cand-p")
 		if err != nil {
 			return nil, err
 		}
-		for _, qs := range qShapes {
-			qProg, err := qFam.Program(qs, "cand-q")
-			if err != nil {
-				return nil, err
-			}
+		for qi, qs := range qShapes {
 			progs := make([]*machine.Program, n)
 			progs[0] = pProg
 			for i := 1; i < n; i++ {
-				progs[i] = qProg
+				progs[i] = qProgs[qi]
 			}
-			rep.Candidates++
-			asn := Assignment{Shapes: []Shape{ps, qs}}
-			refuted, err := refute(rep, asn, progs, &pFam, tsk, inputVectors, opts)
-			if err != nil {
-				return nil, err
-			}
-			if !refuted {
-				rep.Solvers = append(rep.Solvers, asn)
-			}
+			cands = append(cands, candidate{
+				asn:   Assignment{Shapes: []Shape{ps, qs}},
+				progs: progs,
+			})
 		}
+	}
+
+	rep := &Report{
+		Pruned: (len(pFam.Shapes()) - len(pShapes)) + (len(qFam.Shapes()) - len(qShapes)),
+	}
+	if err := sweep(rep, cands, f.Objects, task.DAC{N: n, P: 0}, inputVectors, opts); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -135,7 +169,7 @@ func FalsifySymmetric(f *Family, tsk task.Task, inputVectors [][]value.Value, op
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Pruned: len(fam.Shapes()) - len(shapes)}
+	cands := make([]candidate, 0, len(shapes))
 	for _, s := range shapes {
 		prog, err := fam.Program(s, "cand")
 		if err != nil {
@@ -145,15 +179,11 @@ func FalsifySymmetric(f *Family, tsk task.Task, inputVectors [][]value.Value, op
 		for i := range progs {
 			progs[i] = prog
 		}
-		rep.Candidates++
-		asn := Assignment{Shapes: []Shape{s}}
-		refuted, err := refute(rep, asn, progs, &fam, tsk, inputVectors, opts)
-		if err != nil {
-			return nil, err
-		}
-		if !refuted {
-			rep.Solvers = append(rep.Solvers, asn)
-		}
+		cands = append(cands, candidate{asn: Assignment{Shapes: []Shape{s}}, progs: progs})
+	}
+	rep := &Report{Pruned: len(fam.Shapes()) - len(shapes)}
+	if err := sweep(rep, cands, f.Objects, tsk, inputVectors, opts); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -176,30 +206,133 @@ func survivors(f *Family, opts SweepOptions) ([]Shape, error) {
 	return out, nil
 }
 
-// refute model-checks one assignment on every input vector, recording a
-// sample failure. It reports whether the assignment was refuted.
-func refute(rep *Report, asn Assignment, progs []*machine.Program, f *Family,
-	tsk task.Task, inputVectors [][]value.Value, opts SweepOptions,
-) (bool, error) {
+// candidate is one sweep job: a protocol assignment with its per-process
+// programs materialized.
+type candidate struct {
+	asn   Assignment
+	progs []*machine.Program
+}
+
+// outcome classifies one checked candidate. Exactly one of failure,
+// inconclusive, or solver is set unless err is.
+type outcome struct {
+	failure      *Failure
+	inconclusive *Inconclusive
+	solver       bool
+	states       int
+	err          error
+}
+
+// sweep fans the candidates out to opts.Workers goroutines and folds
+// the outcomes into rep in candidate-index order, so the Report is
+// byte-identical for every worker count. The first hard error cancels
+// the remaining queue; the lowest-indexed recorded error is returned.
+func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
+	inputVectors [][]value.Value, opts SweepOptions,
+) error {
+	outcomes := make([]outcome, len(cands))
+	workers := opts.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		prog   = Progress{Pruned: rep.Pruned}
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cands) || failed.Load() {
+					return
+				}
+				out := checkCandidate(cands[i], objs, tsk, inputVectors, opts)
+				outcomes[i] = out
+				if out.err != nil {
+					failed.Store(true)
+					return
+				}
+				if opts.OnProgress != nil {
+					mu.Lock()
+					prog.Candidates++
+					if out.inconclusive != nil {
+						prog.Inconclusive++
+					}
+					prog.States += out.states
+					opts.OnProgress(prog)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range outcomes {
+		if err := outcomes[i].err; err != nil {
+			return err
+		}
+	}
+	rep.Candidates = len(cands)
+	for i := range outcomes {
+		o := &outcomes[i]
+		rep.States += o.states
+		switch {
+		case o.failure != nil:
+			if rep.SampleFailure == nil {
+				rep.SampleFailure = o.failure
+			}
+		case o.inconclusive != nil:
+			rep.Inconclusive = append(rep.Inconclusive, *o.inconclusive)
+		case o.solver:
+			rep.Solvers = append(rep.Solvers, cands[i].asn)
+		}
+	}
+	return nil
+}
+
+// checkCandidate model-checks one assignment on every input vector.
+// A vector that refutes the candidate settles it; a vector that blows
+// the state limit marks it inconclusive but later vectors still get a
+// chance to refute it (a refutation on any vector is conclusive).
+func checkCandidate(c candidate, objs []spec.Spec, tsk task.Task,
+	inputVectors [][]value.Value, opts SweepOptions,
+) outcome {
+	var out outcome
 	for _, in := range inputVectors {
-		sys := &explore.System{Programs: progs, Objects: f.Objects, Inputs: in}
+		sys := &explore.System{Programs: c.progs, Objects: objs, Inputs: in}
 		r, err := explore.Check(sys, tsk, explore.Options{MaxStates: opts.MaxStatesPerCandidate})
 		if errors.Is(err, explore.ErrStateLimit) {
-			return false, fmt.Errorf("candidate %v on %v: %w", asn.Shapes, in, ErrInconclusive)
-		}
-		if err != nil {
-			return false, err
-		}
-		if !r.Solved() {
-			if rep.SampleFailure == nil {
-				rep.SampleFailure = &Failure{
-					Assignment: asn,
-					Violation:  r.Violations[0],
+			out.states += r.States
+			if out.inconclusive == nil {
+				out.inconclusive = &Inconclusive{
+					Assignment: c.asn,
 					Inputs:     append([]value.Value(nil), in...),
 				}
 			}
-			return true, nil
+			continue
+		}
+		if err != nil {
+			out.err = fmt.Errorf("candidate %v on %v: %w", c.asn.Shapes, in, err)
+			return out
+		}
+		out.states += r.States
+		if !r.Solved() {
+			out.failure = &Failure{
+				Assignment: c.asn,
+				Violation:  r.Violations[0],
+				Inputs:     append([]value.Value(nil), in...),
+			}
+			out.inconclusive = nil
+			return out
 		}
 	}
-	return false, nil
+	out.solver = out.inconclusive == nil
+	return out
 }

@@ -23,10 +23,8 @@ func (r *Report) WriteDOT(w io.Writer, maxNodes int) error {
 	b.WriteString("digraph configurations {\n")
 	b.WriteString("  rankdir=TB;\n  node [shape=circle, fontsize=10];\n")
 	n := len(g.configs)
-	truncated := false
 	if n > maxNodes {
 		n = maxNodes
-		truncated = true
 		fmt.Fprintf(&b, "  // truncated to the first %d of %d configurations\n", n, len(g.configs))
 	}
 	for id := 0; id < n; id++ {
@@ -49,6 +47,8 @@ func (r *Report) WriteDOT(w io.Writer, maxNodes int) error {
 	for from := 0; from < n; from++ {
 		for _, e := range g.edges[from] {
 			if e.to >= n {
+				// Truncation dropped the target node; emitting the edge
+				// would reference an undeclared (dangling) node id.
 				continue
 			}
 			fmt.Fprintf(&b, "  c%d -> c%d [label=\"%s\", fontsize=8];\n",
@@ -58,9 +58,6 @@ func (r *Report) WriteDOT(w io.Writer, maxNodes int) error {
 	b.WriteString("}\n")
 	if _, err := io.WriteString(w, b.String()); err != nil {
 		return fmt.Errorf("explore: write dot: %w", err)
-	}
-	if truncated {
-		return nil
 	}
 	return nil
 }

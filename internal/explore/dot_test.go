@@ -1,0 +1,69 @@
+package explore_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/programs"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+var (
+	dotNodeRe = regexp.MustCompile(`^\s*(c\d+) \[`)
+	dotEdgeRe = regexp.MustCompile(`^\s*(c\d+) -> (c\d+) \[`)
+)
+
+// TestWriteDOTTruncatedNoDanglingEdges renders a truncated graph and
+// validates it without Graphviz: every edge endpoint must be a declared
+// node, i.e. truncation drops edges into cut nodes rather than emitting
+// dangling node references.
+func TestWriteDOTTruncatedNoDanglingEdges(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	sys, err := prot.System([]value.Value{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxNodes = 16
+	if rep.States <= maxNodes {
+		t.Fatalf("graph too small to exercise truncation: %d states", rep.States)
+	}
+	var buf strings.Builder
+	if err := rep.WriteDOT(&buf, maxNodes); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "truncated") {
+		t.Fatal("truncation comment missing")
+	}
+
+	declared := map[string]bool{}
+	var edges [][2]string
+	for _, line := range strings.Split(out, "\n") {
+		if m := dotEdgeRe.FindStringSubmatch(line); m != nil {
+			edges = append(edges, [2]string{m[1], m[2]})
+			continue
+		}
+		if m := dotNodeRe.FindStringSubmatch(line); m != nil {
+			declared[m[1]] = true
+		}
+	}
+	if len(declared) != maxNodes {
+		t.Fatalf("%d nodes declared, want %d", len(declared), maxNodes)
+	}
+	if len(edges) == 0 {
+		t.Fatal("truncated graph has no edges at all")
+	}
+	for _, e := range edges {
+		if !declared[e[0]] || !declared[e[1]] {
+			t.Errorf("edge %s -> %s references an undeclared node", e[0], e[1])
+		}
+	}
+}

@@ -204,6 +204,37 @@ func TestStateLimit(t *testing.T) {
 	}
 }
 
+// TestStateLimitPartialReport is the regression test for the partial
+// Report returned alongside ErrStateLimit: States must count the
+// configurations actually interned (it used to stay 0 while Transitions
+// was populated), keeping the report self-consistent.
+func TestStateLimitPartialReport(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	sys, err := prot.System([]value.Value{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const max = 10
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{MaxStates: max})
+	if !errors.Is(err, explore.ErrStateLimit) {
+		t.Fatalf("err = %v, want ErrStateLimit", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report returned with ErrStateLimit")
+	}
+	if rep.States != max+1 {
+		t.Errorf("partial report States = %d, want %d (the config that broke the cap)", rep.States, max+1)
+	}
+	if rep.Transitions == 0 {
+		t.Error("partial report lost its transition count")
+	}
+	// Every non-root configuration was first reached over some edge.
+	if rep.States > rep.Transitions+1 {
+		t.Errorf("inconsistent partial report: %d states > %d transitions + 1", rep.States, rep.Transitions)
+	}
+}
+
 // TestWriteDOT exercises the Graphviz export.
 func TestWriteDOT(t *testing.T) {
 	t.Parallel()

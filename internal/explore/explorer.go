@@ -173,6 +173,10 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 				g.edges[at] = append(g.edges[at], edge{to: id, step: steps[b]})
 				rep.Transitions++
 				if fresh && len(g.configs) > opts.MaxStates {
+					// Keep the partial report self-consistent: States must
+					// count the configurations actually interned, matching
+					// the Transitions already tallied.
+					rep.States = len(g.configs)
 					return rep, fmt.Errorf("explore: %d states: %w", len(g.configs), ErrStateLimit)
 				}
 			}
