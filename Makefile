@@ -1,13 +1,20 @@
 # Verification targets. `make verify` is the full gate every change
-# must pass: vet + build + tests + the race detector on the packages
-# that run goroutines (the parallel sweep engine in enumerate, the
-# explorer it drives, and the lincheck fuzzer).
+# must pass: gofmt + vet + build + tests + the race detector on the
+# packages that run goroutines (the parallel sweep engine in enumerate,
+# the explorer it drives, the lincheck fuzzer, and the obs metrics
+# layer they all feed).
 
 GO ?= go
 
-.PHONY: verify vet build test race bench experiments
+.PHONY: verify fmt vet build test race bench bench-json experiments
 
-verify: vet build test race
+verify: fmt vet build test race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -19,10 +26,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck
+	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-json snapshots instrumented run reports for trajectory
+# comparison across commits (see EXPERIMENTS.md "Reading run reports").
+bench-json:
+	$(GO) run ./cmd/explore -protocol alg2 -n 4 -metrics BENCH_explore.json > /dev/null
+	$(GO) run ./cmd/experiments -quick -metrics BENCH_experiments.json > /dev/null
+	@echo "wrote BENCH_explore.json BENCH_experiments.json"
 
 experiments:
 	$(GO) run ./cmd/experiments

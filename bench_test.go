@@ -19,6 +19,7 @@ import (
 	"setagree/internal/history"
 	"setagree/internal/lincheck"
 	"setagree/internal/objects"
+	"setagree/internal/obs"
 	"setagree/internal/power"
 	"setagree/internal/programs"
 	"setagree/internal/sim"
@@ -174,13 +175,14 @@ func BenchmarkSimDAC(b *testing.B) {
 }
 
 // BenchmarkModelCheckDAC measures exhaustive verification of Theorem
-// 4.1 (the state space growth is the real measurement; states/op is
-// reported as a custom metric).
+// 4.1 (the state space growth is the real measurement; states/op and
+// obs-derived states/sec are reported as custom metrics).
 func BenchmarkModelCheckDAC(b *testing.B) {
 	for _, n := range []int{2, 3, 4} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			prot := programs.Algorithm2(n, 1)
 			inputs := sim.Inputs(n, 1, 0)
+			sink := obs.NewSink()
 			states := 0
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -188,7 +190,7 @@ func BenchmarkModelCheckDAC(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := explore.Check(sys, task.DAC{N: n, P: 0}, explore.Options{})
+				rep, err := explore.Check(sys, task.DAC{N: n, P: 0}, explore.Options{Obs: sink})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -198,6 +200,9 @@ func BenchmarkModelCheckDAC(b *testing.B) {
 				states = rep.States
 			}
 			b.ReportMetric(float64(states), "states")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(sink.Counter("explore.states").Load())/secs, "states/sec")
+			}
 		})
 	}
 }
@@ -207,7 +212,8 @@ func BenchmarkModelCheckDAC(b *testing.B) {
 // BenchmarkEnumerateDAC measures the depth-1 Theorem 4.2 sweep across
 // worker counts (the -workers dimension: the sweep engine fans the
 // candidate model checks out to a goroutine pool with a byte-identical
-// Report at every setting, so this measures pure speedup).
+// Report at every setting, so this measures pure speedup). The sweep's
+// obs sink derives candidates/sec and states/sec throughput metrics.
 func BenchmarkEnumerateDAC(b *testing.B) {
 	fam := &enumerate.Family{
 		Objects: []spec.Spec{objects.NewConsensus(2), objects.NewRegister(), objects.NewTwoSA()},
@@ -230,10 +236,11 @@ func BenchmarkEnumerateDAC(b *testing.B) {
 	}
 	for _, w := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sink := obs.NewSink()
 			candidates := 0
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rep, err := enumerate.FalsifyDAC(fam, 3, vectors, enumerate.SweepOptions{Workers: w})
+				rep, err := enumerate.FalsifyDAC(fam, 3, vectors, enumerate.SweepOptions{Workers: w, Obs: sink})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -243,6 +250,10 @@ func BenchmarkEnumerateDAC(b *testing.B) {
 				candidates = rep.Candidates
 			}
 			b.ReportMetric(float64(candidates), "candidates")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(sink.Counter("sweep.candidates").Load())/secs, "candidates/sec")
+				b.ReportMetric(float64(sink.Counter("sweep.states").Load())/secs, "states/sec")
+			}
 		})
 	}
 }

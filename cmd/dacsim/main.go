@@ -12,10 +12,15 @@
 //
 //	dacsim [-n 5] [-p 1] [-inputs 1,0,0,0,0] [-mode live|sim]
 //	       [-trials 100] [-seed 42] [-crash proc:step,...] [-v]
+//	       [-metrics out.json] [-events out.jsonl]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Every run's outcome is validated against the n-DAC Agreement,
 // Validity, and Nontriviality properties; the command exits nonzero if
-// any run violates them.
+// any run violates them. -metrics writes a run-report JSON with the
+// sim.* counters (runs, steps, completed) and per-second rates;
+// -events streams one dacsim.trial event per finished trial (see
+// EXPERIMENTS.md "Reading run reports").
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"strings"
 
 	"setagree"
+	"setagree/cmd/internal/obsflags"
+	"setagree/internal/obs"
 	"setagree/internal/programs"
 	"setagree/internal/sim"
 	"setagree/internal/task"
@@ -48,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 42, "base seed for -mode sim")
 	crashFlag := fs.String("crash", "", "crash plan for -mode sim, e.g. 1:3,2:10 (proc:step)")
 	verbose := fs.Bool("v", false, "print each run's outcome")
+	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,6 +73,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dacsim: %v\n", err)
 		return 2
 	}
+	sess, err := obsflags.Start("dacsim", obsF, args)
+	if err != nil {
+		fmt.Fprintf(stderr, "dacsim: %v\n", err)
+		return 2
+	}
+	defer sess.CloseTo(stderr)
 
 	fmt.Fprintf(stdout, "%d-DAC via Algorithm 2: p=%d inputs=%v mode=%s trials=%d\n",
 		*n, *p, inputs, *mode, *trials)
@@ -94,6 +108,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 					}
 				}
 			}
+			sess.Sink.Counter("dacsim.live_trials").Inc()
+			sess.Events.Emit("dacsim.trial", obs.Fields{
+				"trial": trial, "mode": "live", "outcome": renderLive(results),
+			})
 			if *verbose {
 				fmt.Fprintf(stdout, "  trial %3d: %s\n", trial, renderLive(results))
 			}
@@ -105,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			res, err := sim.Run(sys, task.DAC{N: *n, P: *p - 1}, sim.Random(*seed+uint64(trial)),
-				sim.Options{MaxSteps: 1 << 14, CrashAt: crash})
+				sim.Options{MaxSteps: 1 << 14, CrashAt: crash, Obs: sess.Sink})
 			if err != nil {
 				fmt.Fprintf(stderr, "dacsim: trial %d: %v\n", trial, err)
 				return 1
@@ -125,6 +143,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 					}
 				}
 			}
+			sess.Events.Emit("dacsim.trial", obs.Fields{
+				"trial": trial, "mode": "sim", "seed": *seed + uint64(trial),
+				"steps": res.Steps, "outcome": renderSim(res),
+			})
 			if *verbose {
 				fmt.Fprintf(stdout, "  trial %3d: steps=%d %s\n", trial, res.Steps, renderSim(res))
 			}

@@ -7,12 +7,18 @@
 // Usage:
 //
 //	experiments [-quick] [-v] [-workers N]
+//	            [-metrics out.json] [-events out.jsonl]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -quick trims the heavier rows (depth-2 sweeps, n >= 5 state spaces).
 // -workers sets the goroutine count for the falsification sweeps
 // (default: GOMAXPROCS); verdicts are identical at every setting.
-// With -v the sweeps additionally report live progress. Exit status 0
-// iff every experiment matches the paper's claim.
+// With -v the sweeps additionally report live progress. -metrics
+// writes a run-report JSON aggregating every row's explore.* and
+// sweep.* counters with throughput rates; -events streams one
+// experiment.row event per finished row plus the engines' heartbeat
+// and summary events (see EXPERIMENTS.md "Reading run reports").
+// Exit status 0 iff every experiment matches the paper's claim.
 package main
 
 import (
@@ -22,10 +28,12 @@ import (
 	"os"
 	"time"
 
+	"setagree/cmd/internal/obsflags"
 	"setagree/internal/core"
 	"setagree/internal/enumerate"
 	"setagree/internal/explore"
 	"setagree/internal/objects"
+	"setagree/internal/obs"
 	"setagree/internal/programs"
 	"setagree/internal/spec"
 	"setagree/internal/task"
@@ -52,6 +60,8 @@ type runner struct {
 	verbose bool
 	workers int
 	out     io.Writer
+	sink    *obs.Sink
+	events  *obs.Emitter
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -60,10 +70,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "trim the heavier experiments")
 	verbose := fs.Bool("v", false, "print each row as it finishes, with sweep progress")
 	workers := fs.Int("workers", 0, "worker goroutines per falsification sweep (default GOMAXPROCS)")
+	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	r := &runner{quick: *quick, verbose: *verbose, workers: *workers, out: stdout}
+	sess, err := obsflags.Start("experiments", obsF, args)
+	if err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 2
+	}
+	defer sess.CloseTo(stderr)
+	r := &runner{
+		quick:   *quick,
+		verbose: *verbose,
+		workers: *workers,
+		out:     stdout,
+		sink:    sess.Sink,
+		events:  sess.Events,
+	}
 
 	r.e2Algorithm2()
 	r.e3Falsification()
@@ -98,17 +122,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func (r *runner) add(id, claim, instance string, ok bool, detail string, elapsed time.Duration) {
 	r.rows = append(r.rows, row{id: id, claim: claim, instance: instance, ok: ok, detail: detail, elapsed: elapsed})
+	r.sink.Counter("experiments.rows").Inc()
+	if !ok {
+		r.sink.Counter("experiments.failed").Inc()
+	}
+	r.events.Emit("experiment.row", obs.Fields{
+		"id":         id,
+		"claim":      claim,
+		"instance":   instance,
+		"ok":         ok,
+		"detail":     detail,
+		"elapsed_ns": elapsed.Nanoseconds(),
+	})
 	if r.verbose {
 		fmt.Fprintf(r.out, "[%s] %s — %s: ok=%v (%s; %s)\n", id, claim, instance, ok, detail, elapsed.Round(time.Millisecond))
 	}
 }
 
-// checkSolved model-checks a protocol and reports solved + state count.
-func checkSolved(prot programs.Protocol, tsk task.Task, inputs []value.Value, opts explore.Options) (bool, string, error) {
+// checkSolved model-checks a protocol and reports solved + state count,
+// feeding the run's metrics sink and event stream when enabled.
+func (r *runner) checkSolved(prot programs.Protocol, tsk task.Task, inputs []value.Value, opts explore.Options) (bool, string, error) {
 	sys, err := prot.System(inputs)
 	if err != nil {
 		return false, "", err
 	}
+	opts.Obs = r.sink
+	opts.Events = r.events
 	rep, err := explore.Check(sys, tsk, opts)
 	if err != nil {
 		return false, "", err
@@ -142,7 +181,7 @@ func (r *runner) e2Algorithm2() {
 	}
 	for n := 2; n <= maxN; n++ {
 		start := time.Now()
-		ok, detail, err := checkSolved(programs.Algorithm2(n, 1), task.DAC{N: n, P: 0}, canonical(n), explore.Options{})
+		ok, detail, err := r.checkSolved(programs.Algorithm2(n, 1), task.DAC{N: n, P: 0}, canonical(n), explore.Options{})
 		if err != nil {
 			detail = err.Error()
 			ok = false
@@ -188,7 +227,7 @@ func binaryVectors(n int) [][]value.Value {
 // sweepOptions wires the -workers flag and, with -v, live progress into
 // a falsification sweep.
 func (r *runner) sweepOptions(id string) enumerate.SweepOptions {
-	opts := enumerate.SweepOptions{Workers: r.workers}
+	opts := enumerate.SweepOptions{Workers: r.workers, Obs: r.sink, Events: r.events}
 	if r.verbose {
 		opts.OnProgress = func(p enumerate.Progress) {
 			if p.Candidates%1000 == 0 {
@@ -234,7 +273,7 @@ func (r *runner) e3Falsification() {
 func (r *runner) e5PACMLevel() {
 	for _, m := range []int{2, 3} {
 		start := time.Now()
-		ok, detail, err := checkSolved(programs.ConsensusFromPACM(m+1, m, m),
+		ok, detail, err := r.checkSolved(programs.ConsensusFromPACM(m+1, m, m),
 			task.Consensus{N: m}, distinct(m), explore.Options{})
 		if err != nil {
 			detail = err.Error()
@@ -276,7 +315,7 @@ func (r *runner) e7SamePower() {
 		}
 		for _, v := range variants {
 			start := time.Now()
-			ok, detail, err := checkSolved(v.prot, tsk, distinct(procs), explore.Options{})
+			ok, detail, err := r.checkSolved(v.prot, tsk, distinct(procs), explore.Options{})
 			if err != nil {
 				detail = err.Error()
 				ok = false
@@ -293,7 +332,7 @@ func (r *runner) e7SamePower() {
 // solves 3-DAC.
 func (r *runner) e8Theorem71() {
 	start := time.Now()
-	ok, detail, err := checkSolved(programs.Algorithm2ViaPACM(3, 2, 1),
+	ok, detail, err := r.checkSolved(programs.Algorithm2ViaPACM(3, 2, 1),
 		task.DAC{N: 3, P: 0}, canonical(3), explore.Options{})
 	if err != nil {
 		detail = err.Error()
@@ -323,7 +362,7 @@ func (r *runner) e8Theorem71() {
 // e10Hierarchy: partition lower bounds and classic level-2 protocols.
 func (r *runner) e10Hierarchy() {
 	start := time.Now()
-	ok, detail, err := checkSolved(programs.Partition(2, 2),
+	ok, detail, err := r.checkSolved(programs.Partition(2, 2),
 		task.KSetAgreement{N: 4, K: 2}, distinct(4), explore.Options{})
 	if err != nil {
 		detail = err.Error()
@@ -332,7 +371,7 @@ func (r *runner) e10Hierarchy() {
 	r.add("E10", "CR formula (+): k groups give (km,k)-SA", "k=2, m=2", ok, detail, time.Since(start))
 
 	start = time.Now()
-	ok, detail, err = checkSolved(programs.ConsensusFromQueue(),
+	ok, detail, err = r.checkSolved(programs.ConsensusFromQueue(),
 		task.Consensus{N: 2}, []value.Value{3, 4}, explore.Options{})
 	if err != nil {
 		detail = err.Error()
@@ -350,7 +389,7 @@ func (r *runner) e11Valency() {
 		r.add("E11", "Claims 4.2.4-7: valency structure", "n=3", false, err.Error(), time.Since(start))
 		return
 	}
-	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{Valency: true})
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{Valency: true, Obs: r.sink, Events: r.events})
 	if err != nil {
 		r.add("E11", "Claims 4.2.4-7: valency structure", "n=3", false, err.Error(), time.Since(start))
 		return
@@ -373,7 +412,7 @@ func (r *runner) e11Valency() {
 func (r *runner) e13Chaudhuri() {
 	const n, k = 3, 2
 	start := time.Now()
-	ok, detail, err := checkSolved(programs.ChaudhuriKSet(n, k),
+	ok, detail, err := r.checkSolved(programs.ChaudhuriKSet(n, k),
 		task.ResilientKSet{N: n, K: k, F: k - 1}, distinct(n), explore.Options{})
 	if err != nil {
 		detail = err.Error()
@@ -382,7 +421,7 @@ func (r *runner) e13Chaudhuri() {
 	r.add("E13", "Chaudhuri (+): f=k-1 resilient k-SA from registers", "n=3, k=2, f=1", ok, detail, time.Since(start))
 
 	start = time.Now()
-	solved, detail2, err := checkSolved(programs.ChaudhuriKSet(n, k),
+	solved, detail2, err := r.checkSolved(programs.ChaudhuriKSet(n, k),
 		task.ResilientKSet{N: n, K: k, F: k}, distinct(n), explore.Options{})
 	ok = err == nil && !solved // the refutation is the expected result
 	if err != nil {

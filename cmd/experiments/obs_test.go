@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"setagree/internal/obs"
+)
+
+// TestMetricsRunReport checks -metrics aggregates the whole suite into
+// one valid run report: rows, explorer and sweep counters, machine
+// steps, wall-clock duration, and throughput rates.
+func TestMetricsRunReport(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-metrics", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := obs.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "experiments" {
+		t.Errorf("tool = %q, want experiments", rep.Tool)
+	}
+	if rep.DurationNS <= 0 || rep.DurationSeconds <= 0 {
+		t.Errorf("no wall-clock duration recorded: %+v", rep)
+	}
+	for _, c := range []string{
+		"experiments.rows", "explore.states", "explore.transitions",
+		"sweep.candidates", "machine.steps",
+	} {
+		if rep.Counters[c] <= 0 {
+			t.Errorf("counter %s missing or zero: %v", c, rep.Counters)
+		}
+		if rep.Rates[c+"_per_sec"] <= 0 {
+			t.Errorf("rate %s_per_sec missing or zero", c)
+		}
+	}
+	if rep.Counters["experiments.failed"] != 0 {
+		t.Errorf("experiments.failed = %d on a green suite", rep.Counters["experiments.failed"])
+	}
+}

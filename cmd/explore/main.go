@@ -23,7 +23,13 @@
 //
 // Exit status: 0 solved, 1 refuted, 2 usage or internal error, 3
 // inconclusive (the -max-states cap was hit; the partial exploration
-// counts are printed).
+// counts, elapsed wall time, and states/sec are printed).
+//
+// Observability (shared with every cmd tool; see EXPERIMENTS.md
+// "Reading run reports"): -metrics <file> writes the final run-report
+// JSON, -events <file> streams JSONL events (explore.heartbeat while
+// the search runs, explore.done / explore.statelimit at the end),
+// -cpuprofile / -memprofile write pprof profiles.
 package main
 
 import (
@@ -34,7 +40,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"setagree/cmd/internal/obsflags"
 	"setagree/cmd/internal/specname"
 	"setagree/internal/core"
 	"setagree/internal/explore"
@@ -85,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.annotate, "annotate", false, "replay witnesses with object-state annotations (implies -witness)")
 	fs.BoolVar(&c.witness, "witness", false, "print full witness schedules")
 	fs.IntVar(&c.maxStates, "max-states", 1<<21, "state cap")
+	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -99,16 +108,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "explore: %v\n", err)
 		return 2
 	}
+	sess, err := obsflags.Start("explore", obsF, args)
+	if err != nil {
+		fmt.Fprintf(stderr, "explore: %v\n", err)
+		return 2
+	}
+	defer sess.CloseTo(stderr)
 
 	if c.adversary {
 		c.valency = true
 	}
 	fmt.Fprintf(stdout, "protocol: %s\n", prot.Name)
 	fmt.Fprintf(stdout, "task:     %s, inputs %v\n", tsk.Name(), inputs)
-	rep, err := explore.Check(sys, tsk, explore.Options{Valency: c.valency, MaxStates: c.maxStates})
+	start := time.Now()
+	rep, err := explore.Check(sys, tsk, explore.Options{
+		Valency:   c.valency,
+		MaxStates: c.maxStates,
+		Obs:       sess.Sink,
+		Events:    sess.Events,
+	})
+	elapsed := time.Since(start)
 	if errors.Is(err, explore.ErrStateLimit) {
+		// The state-limit path prints the same timing diagnostics as a
+		// completed run, so state-limit hits are tunable from the output
+		// alone (how fast was the search going, how far did it get).
 		fmt.Fprintf(stdout, "explored: %d configurations, %d transitions (partial)\n",
 			rep.States, rep.Transitions)
+		fmt.Fprintf(stdout, "elapsed:  %s (%.0f states/sec)\n",
+			elapsed.Round(time.Microsecond), statesPerSec(rep.States, elapsed))
 		fmt.Fprintf(stdout, "verdict:  INCONCLUSIVE — %v (raise -max-states)\n", err)
 		return 3
 	}
@@ -118,6 +145,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "explored: %d configurations, %d transitions, %d quiescent\n",
 		rep.States, rep.Transitions, rep.Quiescent)
+	fmt.Fprintf(stdout, "elapsed:  %s (%.0f states/sec)\n",
+		elapsed.Round(time.Microsecond), statesPerSec(rep.States, elapsed))
 
 	if rep.Solved() {
 		fmt.Fprintln(stdout, "verdict:  SOLVED — all safety and termination properties hold on every schedule")
@@ -379,4 +408,13 @@ func orDefault(v, fallback int) int {
 		return v
 	}
 	return fallback
+}
+
+// statesPerSec computes exploration throughput, 0 on a degenerate
+// elapsed time.
+func statesPerSec(states int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(states) / elapsed.Seconds()
 }

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	hierarchy [-levels K] [-n N]
+//	hierarchy [-levels K] [-n N] [-metrics out.json] [-events out.jsonl]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The first table lists each object's k-set agreement numbers n_k for
 // k = 1..K. The second table demonstrates Corollary 6.6's setting for
 // the given n: O_n and O'_n share one power sequence, yet O'_n is
 // implementable from {n-consensus, 2-SA, registers} (Lemma 6.4) while
-// O_n is not (Observation 6.3).
+// O_n is not (Observation 6.3). The observability flags follow the
+// repository-wide convention (see EXPERIMENTS.md "Reading run
+// reports").
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"os"
 	"strconv"
 
+	"setagree/cmd/internal/obsflags"
 	"setagree/internal/power"
 )
 
@@ -32,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	levels := fs.Int("levels", 5, "number of power-sequence levels to print")
 	n := fs.Int("n", 3, "hierarchy level n for the O_n / O'_n comparison")
+	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,6 +44,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hierarchy: -levels must be >= 1 and -n >= 2")
 		return 2
 	}
+	sess, err := obsflags.Start("hierarchy", obsF, args)
+	if err != nil {
+		fmt.Fprintf(stderr, "hierarchy: %v\n", err)
+		return 2
+	}
+	defer sess.CloseTo(stderr)
 
 	fmt.Fprintln(stdout, "Set agreement power (n_k = k-set agreement number; ∞ = any number of processes)")
 	fmt.Fprintln(stdout)
@@ -53,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprint(stdout, power.Table(rows, *levels))
 	fmt.Fprintln(stdout)
+	sess.Sink.Counter("hierarchy.rows").Add(int64(len(rows)))
+	sess.Sink.Counter("hierarchy.levels").Add(int64(*levels))
 
 	fmt.Fprintf(stdout, "Corollary 6.6 at level n = %d of the consensus hierarchy:\n", *n)
 	on := power.ObjectO(*n)

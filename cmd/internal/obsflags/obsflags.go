@@ -1,0 +1,190 @@
+// Package obsflags is the shared instrumentation edge of every cmd
+// tool: it registers the observability flag quartet
+//
+//	-metrics <file>     final run-report JSON (obs.RunReport)
+//	-events <file>      structured JSONL event stream (obs.Emitter)
+//	-cpuprofile <file>  pprof CPU profile of the run
+//	-memprofile <file>  pprof heap profile, written at exit
+//
+// and turns them into a Session holding the run's metrics Sink and
+// event Emitter, which the tool threads into the engines it drives.
+// When no flag is given every Session field is nil and the engines'
+// nil-safe instrumentation costs nothing. Closing the session stops
+// the profiles, folds the global machine step counter into the sink,
+// emits the final run.done event, and writes the run report.
+package obsflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"setagree/internal/machine"
+	"setagree/internal/obs"
+)
+
+// Flags holds the parsed observability flag values.
+type Flags struct {
+	metrics    string
+	events     string
+	cpuprofile string
+	memprofile string
+}
+
+// Register installs the -metrics, -events, -cpuprofile, and
+// -memprofile flags on fs and returns the value holder to Start from
+// after parsing.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.metrics, "metrics", "", "write the final run-report JSON to this file")
+	fs.StringVar(&f.events, "events", "", "stream structured JSONL events to this file")
+	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.memprofile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	return f
+}
+
+// Session is one instrumented tool run.
+type Session struct {
+	// Sink collects the run's metrics. Nil unless -metrics or -events
+	// was given; engines accept nil sinks at zero cost.
+	Sink *obs.Sink
+	// Events is the JSONL event stream. Nil unless -events was given.
+	Events *obs.Emitter
+
+	tool       string
+	args       []string
+	start      time.Time
+	stepBase   int64
+	metricsOut string
+	eventsFile *os.File
+	cpuFile    *os.File
+	memOut     string
+	closed     bool
+}
+
+// Start opens the requested outputs and begins the run: it creates the
+// metrics sink (when -metrics or -events was given — the event stream
+// gets a run.done summary from the same sink), opens the event stream
+// with a run.start event, starts the CPU profile, and enables the
+// global machine step counter. A Session is always returned on
+// success, possibly with every field nil; Close is safe either way.
+func Start(tool string, f *Flags, args []string) (*Session, error) {
+	s := &Session{
+		tool:       tool,
+		args:       append([]string(nil), args...),
+		start:      time.Now(),
+		metricsOut: f.metrics,
+		memOut:     f.memprofile,
+	}
+	if f.metrics != "" || f.events != "" {
+		s.Sink = obs.NewSink()
+		s.stepBase = machine.TotalSteps()
+		machine.EnableStepCount(true)
+	}
+	if f.events != "" {
+		ef, err := os.Create(f.events)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -events: %w", tool, err)
+		}
+		s.eventsFile = ef
+		s.Events = obs.NewEmitter(ef)
+		s.Events.Emit("run.start", obs.Fields{"tool": tool, "args": s.args})
+	}
+	if f.cpuprofile != "" {
+		cf, err := os.Create(f.cpuprofile)
+		if err != nil {
+			s.abort()
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", tool, err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			s.abort()
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", tool, err)
+		}
+		s.cpuFile = cf
+	}
+	return s, nil
+}
+
+// abort releases partially opened outputs when Start fails.
+func (s *Session) abort() {
+	if s.eventsFile != nil {
+		s.eventsFile.Close()
+	}
+}
+
+// Close finishes the run: stops the CPU profile, writes the heap
+// profile, folds machine.steps into the sink, emits run.done, closes
+// the event stream, and writes the -metrics run report. It returns the
+// first error; instrumentation failures never change a tool's verdict,
+// so callers report the error and keep their exit code. Close is
+// idempotent and safe on a nil Session.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	elapsed := time.Since(s.start)
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+	}
+	if s.memOut != "" {
+		mf, err := os.Create(s.memOut)
+		keep(err)
+		if err == nil {
+			runtime.GC() // materialize live-heap accounting before the snapshot
+			keep(pprof.WriteHeapProfile(mf))
+			keep(mf.Close())
+		}
+	}
+	if s.Sink != nil {
+		s.Sink.Counter("machine.steps").Add(machine.TotalSteps() - s.stepBase)
+	}
+	if s.Events != nil {
+		snap := s.Sink.Snapshot()
+		s.Events.Emit("run.done", obs.Fields{
+			"tool":        s.tool,
+			"duration_ns": int64(elapsed),
+			"counters":    snap.Counters,
+		})
+		keep(s.Events.Err())
+	}
+	if s.eventsFile != nil {
+		keep(s.eventsFile.Close())
+	}
+	if s.metricsOut != "" {
+		rep := s.Sink.Report(s.tool, s.args, s.start, elapsed)
+		mf, err := os.Create(s.metricsOut)
+		keep(err)
+		if err == nil {
+			keep(rep.WriteJSON(mf))
+			keep(mf.Close())
+		}
+	}
+	return firstErr
+}
+
+// CloseTo closes the session and reports any instrumentation error on
+// w (prefixed with the tool name) without affecting the caller's exit
+// code. Intended as the one-line deferred companion of Start; safe on
+// a nil Session.
+func (s *Session) CloseTo(w io.Writer) {
+	if s == nil {
+		return
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(w, "%s: observability: %v\n", s.tool, err)
+	}
+}

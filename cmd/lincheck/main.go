@@ -5,11 +5,18 @@
 // Usage:
 //
 //	lincheck -spec pac:3 [-obj 0] [history.json]
+//	         [-metrics out.json] [-events out.jsonl]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no file argument the history is read from stdin. Spec names:
 //
 //	register | consensus:N | sa:N:K | 2sa | pac:N | pacm:N:M |
 //	oprime:N | queue | counter | tas
+//
+// -metrics writes a run-report JSON with the lincheck.* counters
+// (objects checked, events, Wing–Gong search nodes); -events streams
+// one lincheck.object event per checked object (see EXPERIMENTS.md
+// "Reading run reports").
 //
 // Exit status: 0 linearizable, 1 not linearizable, 2 usage/input error.
 package main
@@ -21,9 +28,11 @@ import (
 	"io"
 	"os"
 
+	"setagree/cmd/internal/obsflags"
 	"setagree/cmd/internal/specname"
 	"setagree/internal/history"
 	"setagree/internal/lincheck"
+	"setagree/internal/obs"
 )
 
 func main() {
@@ -35,6 +44,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	specName := fs.String("spec", "", "sequential spec (e.g. pac:3, consensus:2, 2sa, register)")
 	objID := fs.Int("obj", -1, "check only this object id (-1: all, requires every object to use -spec)")
+	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -47,6 +57,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lincheck: %v\n", err)
 		return 2
 	}
+	sess, err := obsflags.Start("lincheck", obsF, args)
+	if err != nil {
+		fmt.Fprintf(stderr, "lincheck: %v\n", err)
+		return 2
+	}
+	defer sess.CloseTo(stderr)
 
 	in := stdin
 	if fs.NArg() > 0 {
@@ -72,7 +88,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			continue
 		}
 		res, err := lincheck.CheckObject(sub, sp)
+		sess.Sink.Counter("lincheck.objects").Inc()
+		sess.Sink.Counter("lincheck.events").Add(int64(sub.Len()))
 		if errors.Is(err, lincheck.ErrNotLinearizable) {
+			sess.Sink.Counter("lincheck.not_linearizable").Inc()
+			sess.Events.Emit("lincheck.object", obs.Fields{
+				"object": obj, "spec": sp.Name(), "events": sub.Len(), "linearizable": false,
+			})
 			fmt.Fprintf(stdout, "object %d: NOT linearizable w.r.t. %s (%d events)\n",
 				obj, sp.Name(), sub.Len())
 			return 1
@@ -81,6 +103,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "lincheck: object %d: %v\n", obj, err)
 			return 2
 		}
+		sess.Sink.Counter("lincheck.search_nodes").Add(int64(res.StatesVisited))
+		sess.Events.Emit("lincheck.object", obs.Fields{
+			"object": obj, "spec": sp.Name(), "events": sub.Len(),
+			"linearizable": true, "search_nodes": res.StatesVisited,
+		})
 		fmt.Fprintf(stdout, "object %d: linearizable w.r.t. %s (%d events, %d search states)\n",
 			obj, sp.Name(), sub.Len(), res.StatesVisited)
 		fmt.Fprintf(stdout, "  witness order: %v\n", res.Order)

@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"setagree/internal/explore"
 	"setagree/internal/machine"
+	"setagree/internal/obs"
 	"setagree/internal/sim"
 	"setagree/internal/spec"
 	"setagree/internal/task"
@@ -35,7 +37,24 @@ type SweepOptions struct {
 	// completes. Calls are serialized and counters are nondecreasing,
 	// but with Workers > 1 the completion order is not the candidate
 	// order. The callback must not call back into the sweep.
+	//
+	// OnProgress is implemented on top of the same per-candidate
+	// accounting that feeds Obs: both observe every completed candidate
+	// exactly once and agree with the final Report.
 	OnProgress func(Progress)
+	// Obs, when set, receives the sweep.* run metrics: candidates,
+	// pruned, inconclusive, refuted, solvers, and states counters (all
+	// sums of work done, so identical sweeps yield identical values at
+	// any Workers setting), plus the sweep.candidate timer. The sink is
+	// also threaded into every candidate's model check, accumulating
+	// the explore.* counters across the whole sweep. Nil disables
+	// metrics at zero cost.
+	Obs *obs.Sink
+	// Events, when set, receives one sweep.candidate JSONL event per
+	// checked candidate (index, outcome, states, elapsed_ns; emitted in
+	// completion order, which under Workers > 1 is not candidate order)
+	// and a final sweep.done summary. Nil disables events.
+	Events *obs.Emitter
 }
 
 func (o *SweepOptions) fill() {
@@ -236,6 +255,20 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 		workers = len(cands)
 	}
 
+	// Metric handles are resolved once per sweep; a nil Obs hands out
+	// nil (no-op) handles, so the uninstrumented path pays nothing.
+	var (
+		candCounter    = opts.Obs.Counter("sweep.candidates")
+		statesCounter  = opts.Obs.Counter("sweep.states")
+		incCounter     = opts.Obs.Counter("sweep.inconclusive")
+		refutedCounter = opts.Obs.Counter("sweep.refuted")
+		solverCounter  = opts.Obs.Counter("sweep.solvers")
+		candTimer      = opts.Obs.Timer("sweep.candidate")
+		timed          = opts.Obs != nil || opts.Events != nil
+	)
+	opts.Obs.Counter("sweep.sweeps").Inc()
+	opts.Obs.Counter("sweep.pruned").Add(int64(rep.Pruned))
+
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
@@ -253,11 +286,40 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 				if i >= len(cands) || failed.Load() {
 					return
 				}
+				var begin time.Time
+				if timed {
+					begin = time.Now()
+				}
 				out := checkCandidate(cands[i], objs, tsk, inputVectors, opts)
 				outcomes[i] = out
 				if out.err != nil {
 					failed.Store(true)
 					return
+				}
+				candCounter.Inc()
+				statesCounter.Add(int64(out.states))
+				verdict := "refuted"
+				switch {
+				case out.inconclusive != nil:
+					incCounter.Inc()
+					verdict = "inconclusive"
+				case out.solver:
+					solverCounter.Inc()
+					verdict = "solver"
+				default:
+					refutedCounter.Inc()
+				}
+				if timed {
+					elapsed := time.Since(begin)
+					candTimer.Observe(elapsed)
+					if opts.Events != nil {
+						opts.Events.Emit("sweep.candidate", obs.Fields{
+							"index":      i,
+							"outcome":    verdict,
+							"states":     out.states,
+							"elapsed_ns": elapsed.Nanoseconds(),
+						})
+					}
 				}
 				if opts.OnProgress != nil {
 					mu.Lock()
@@ -294,6 +356,15 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 			rep.Solvers = append(rep.Solvers, cands[i].asn)
 		}
 	}
+	if opts.Events != nil {
+		opts.Events.Emit("sweep.done", obs.Fields{
+			"candidates":   rep.Candidates,
+			"pruned":       rep.Pruned,
+			"states":       rep.States,
+			"inconclusive": len(rep.Inconclusive),
+			"solvers":      len(rep.Solvers),
+		})
+	}
 	return nil
 }
 
@@ -307,7 +378,16 @@ func checkCandidate(c candidate, objs []spec.Spec, tsk task.Task,
 	var out outcome
 	for _, in := range inputVectors {
 		sys := &explore.System{Programs: c.progs, Objects: objs, Inputs: in}
-		r, err := explore.Check(sys, tsk, explore.Options{MaxStates: opts.MaxStatesPerCandidate})
+		// The sweep's sink (if any) accumulates the explore.* counters
+		// across every candidate check; per-check events stay off (one
+		// sweep.candidate event per candidate is emitted by the sweep
+		// loop instead, keeping event volume proportional to candidates
+		// rather than model-checker states).
+		r, err := explore.Check(sys, tsk, explore.Options{
+			MaxStates:      opts.MaxStatesPerCandidate,
+			Obs:            opts.Obs,
+			HeartbeatEvery: -1,
+		})
 		if errors.Is(err, explore.ErrStateLimit) {
 			out.states += r.States
 			if out.inconclusive == nil {

@@ -1,0 +1,68 @@
+package enumerate_test
+
+import (
+	"reflect"
+	"testing"
+
+	"setagree/internal/enumerate"
+	"setagree/internal/obs"
+)
+
+// TestObsSnapshotDeterminism runs the same sweep twice with fresh
+// sinks and requires bit-identical counter and gauge values: every
+// metric is a sum of work done, never a wall-time sample, so identical
+// inputs must yield identical numbers at any worker count. Wall time
+// is confined to timer totals, which are deliberately excluded. Run
+// under -race this also certifies the sweep's concurrent counter
+// updates.
+func TestObsSnapshotDeterminism(t *testing.T) {
+	t.Parallel()
+	f := theorem42Family(1)
+	vectors := binaryVectors(3)
+	sweep := func(workers int) obs.Snapshot {
+		sink := obs.NewSink()
+		if _, err := enumerate.FalsifyDAC(f, 3, vectors,
+			enumerate.SweepOptions{Workers: workers, Obs: sink}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sink.Snapshot()
+	}
+	// timerCounts projects out the deterministic half of each timer
+	// (observation counts; totals are wall time and may vary).
+	timerCounts := func(s obs.Snapshot) map[string]int64 {
+		out := make(map[string]int64, len(s.Timers))
+		for name, ts := range s.Timers {
+			out[name] = ts.Count
+		}
+		return out
+	}
+	check := func(label string, base, got obs.Snapshot) {
+		t.Helper()
+		if !reflect.DeepEqual(base.Counters, got.Counters) {
+			t.Errorf("%s: counters differ:\n%+v\nvs\n%+v", label, got.Counters, base.Counters)
+		}
+		if !reflect.DeepEqual(base.Gauges, got.Gauges) {
+			t.Errorf("%s: gauges differ:\n%+v\nvs\n%+v", label, got.Gauges, base.Gauges)
+		}
+		if bc, gc := timerCounts(base), timerCounts(got); !reflect.DeepEqual(bc, gc) {
+			t.Errorf("%s: timer counts differ:\n%+v\nvs\n%+v", label, gc, bc)
+		}
+	}
+
+	base := sweep(1)
+	if base.Counters["sweep.candidates"] == 0 {
+		t.Fatal("sweep counted no candidates")
+	}
+	if base.Counters["sweep.states"] == 0 {
+		t.Fatal("sweep counted no states")
+	}
+	if base.Counters["explore.states"] == 0 {
+		t.Fatal("explorer counters did not accumulate across the sweep")
+	}
+	// Identical run, fresh sink: identical snapshot.
+	check("re-run", base, sweep(1))
+	// The counters are schedule-independent sums, so worker count must
+	// not change them either.
+	check("workers=2", base, sweep(2))
+	check("workers=8", base, sweep(8))
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"setagree/internal/machine"
+	"setagree/internal/obs"
 	"setagree/internal/task"
 )
 
@@ -27,6 +28,22 @@ type Options struct {
 	// critical-configuration detection. It requires a binary task (all
 	// decisions in {0, 1}).
 	Valency bool
+	// Obs, when set, receives the run's metrics: the explore.* counters
+	// (runs, states, transitions, quiescent, violations, statelimit
+	// hits, valency label tallies) and the explore.frontier_max gauge.
+	// Counter values depend only on the explored graph, never on
+	// scheduling or wall time, so identical runs produce identical
+	// metrics. Nil disables metrics at zero cost.
+	Obs *obs.Sink
+	// Events, when set, receives structured JSONL events: a periodic
+	// explore.heartbeat while the BFS runs (replacing the engine's
+	// former silence on long explorations) and a final explore.done /
+	// explore.statelimit. Nil disables events.
+	Events *obs.Emitter
+	// HeartbeatEvery emits an explore.heartbeat after every N expanded
+	// configurations when Events is set (default 1 << 15; negative
+	// disables heartbeats).
+	HeartbeatEvery int
 }
 
 // ViolationKind classifies a found violation.
@@ -145,6 +162,9 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = 1 << 21
 	}
+	if opts.HeartbeatEvery == 0 {
+		opts.HeartbeatEvery = 1 << 15
+	}
 
 	g := &graph{sys: sys, tsk: tsk, ids: make(map[string]int)}
 	rep := &Report{g: g}
@@ -155,7 +175,19 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 	}
 	g.add(root, -1, Step{})
 
+	frontierMax := 1
 	for at := 0; at < len(g.configs); at++ {
+		if frontier := len(g.configs) - at; frontier > frontierMax {
+			frontierMax = frontier
+		}
+		if opts.Events != nil && opts.HeartbeatEvery > 0 && at > 0 && at%opts.HeartbeatEvery == 0 {
+			opts.Events.Emit("explore.heartbeat", obs.Fields{
+				"expanded":    at,
+				"states":      len(g.configs),
+				"transitions": rep.Transitions,
+				"frontier":    len(g.configs) - at,
+			})
+		}
 		c := g.configs[at]
 		if c.Quiescent() {
 			rep.Quiescent++
@@ -177,6 +209,7 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 					// count the configurations actually interned, matching
 					// the Transitions already tallied.
 					rep.States = len(g.configs)
+					flushObs(rep, &opts, frontierMax, true)
 					return rep, fmt.Errorf("explore: %d states: %w", len(g.configs), ErrStateLimit)
 				}
 			}
@@ -195,7 +228,52 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 		}
 		rep.Valency = v
 	}
+	flushObs(rep, &opts, frontierMax, false)
 	return rep, nil
+}
+
+// flushObs folds a finished (or state-limited) exploration into the
+// optional metrics sink and emits the terminal event. Counters are
+// flushed once per run rather than incremented per transition, so
+// instrumented explorations stay within noise of uninstrumented ones.
+func flushObs(rep *Report, opts *Options, frontierMax int, partial bool) {
+	if opts.Obs != nil {
+		o := opts.Obs
+		o.Counter("explore.runs").Inc()
+		o.Counter("explore.states").Add(int64(rep.States))
+		o.Counter("explore.transitions").Add(int64(rep.Transitions))
+		o.Counter("explore.quiescent").Add(int64(rep.Quiescent))
+		o.Counter("explore.violations").Add(int64(len(rep.Violations)))
+		if partial {
+			o.Counter("explore.statelimit_hits").Inc()
+		}
+		o.Gauge("explore.frontier_max").SetMax(int64(frontierMax))
+		if v := rep.Valency; v != nil {
+			o.Counter("explore.valency.bivalent").Add(int64(v.Bivalent))
+			o.Counter("explore.valency.univalent0").Add(int64(v.Univalent0))
+			o.Counter("explore.valency.univalent1").Add(int64(v.Univalent1))
+			o.Counter("explore.valency.null").Add(int64(v.Null))
+			o.Counter("explore.valency.critical").Add(int64(v.CriticalCount))
+		}
+	}
+	if opts.Events != nil {
+		event := "explore.done"
+		if partial {
+			event = "explore.statelimit"
+		}
+		fields := obs.Fields{
+			"states":       rep.States,
+			"transitions":  rep.Transitions,
+			"quiescent":    rep.Quiescent,
+			"violations":   len(rep.Violations),
+			"frontier_max": frontierMax,
+		}
+		if v := rep.Valency; v != nil {
+			fields["bivalent"] = v.Bivalent
+			fields["critical"] = v.CriticalCount
+		}
+		opts.Events.Emit(event, fields)
+	}
 }
 
 // add interns c, recording its BFS parent when first seen. It returns

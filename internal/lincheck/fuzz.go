@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"setagree/internal/history"
+	"setagree/internal/obs"
 	"setagree/internal/spec"
 	"setagree/internal/value"
 )
@@ -22,6 +23,12 @@ type FuzzOptions struct {
 	// Chooser resolves object nondeterminism (default rotating, so
 	// every branch gets exercised over time).
 	Chooser spec.Chooser
+	// Obs, when set, receives the lincheck.* run metrics: fuzz_runs
+	// (schedules tried), events (history events recorded and checked),
+	// search_nodes (memoized Wing–Gong search states visited), and
+	// not_linearizable (failed checks). Nil disables metrics at zero
+	// cost.
+	Obs *obs.Sink
 }
 
 // Fuzz runs a concurrent workload against a fresh Atomic wrapping sp,
@@ -68,9 +75,13 @@ func Fuzz(sp spec.Spec, gen OpGen, opts FuzzOptions) (*history.History, *Result,
 		}
 	}
 	h := rec.History()
+	opts.Obs.Counter("lincheck.fuzz_runs").Inc()
+	opts.Obs.Counter("lincheck.events").Add(int64(h.Len()))
 	res, err := CheckObject(h, sp)
 	if err != nil {
+		opts.Obs.Counter("lincheck.not_linearizable").Inc()
 		return h, nil, err
 	}
+	opts.Obs.Counter("lincheck.search_nodes").Add(int64(res.StatesVisited))
 	return h, res, nil
 }

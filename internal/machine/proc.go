@@ -125,6 +125,7 @@ func Resume(p *Program, ps ProcState, resp value.Value) (ProcState, error) {
 	if in.Kind != InstrInvoke {
 		return ps, fmt.Errorf("%s: pc %d not an invoke: %w", p.Name, ps.PC, ErrProgram)
 	}
+	countStep()
 	next := ps
 	next.Regs = ps.cloneRegs()
 	next.Regs[in.Dst] = resp

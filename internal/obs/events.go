@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fields carries the payload of one structured event. Keys are
+// marshaled in sorted order (encoding/json map behaviour), so event
+// lines with equal payloads are byte-identical.
+type Fields map[string]any
+
+// Emitter writes structured events as JSON Lines: one object per line
+// with the reserved keys "event" (the event name), "seq" (a 1-based
+// emission sequence number), and "ts" (RFC 3339 wall time with
+// nanoseconds), merged with the caller's fields. Emissions are
+// serialized by an internal mutex, so an Emitter is safe for
+// concurrent use; a nil *Emitter discards events, making event hooks
+// free when disabled.
+type Emitter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq int64
+	err error
+	now func() time.Time
+}
+
+// NewEmitter returns an emitter writing JSONL events to w.
+func NewEmitter(w io.Writer) *Emitter {
+	return &Emitter{w: w, now: time.Now}
+}
+
+// NewEmitterAt is NewEmitter with an injected clock, for deterministic
+// event streams in tests.
+func NewEmitterAt(w io.Writer, now func() time.Time) *Emitter {
+	return &Emitter{w: w, now: now}
+}
+
+// Emit writes one event line. The first write error is latched (see
+// Err) and subsequent emissions become no-ops, so a dead event file
+// cannot wedge a run. No-op on a nil receiver.
+func (e *Emitter) Emit(event string, fields Fields) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	e.seq++
+	line := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		line[k] = v
+	}
+	line["event"] = event
+	line["seq"] = e.seq
+	line["ts"] = e.now().Format(time.RFC3339Nano)
+	buf, err := json.Marshal(line)
+	if err != nil {
+		e.err = err
+		return
+	}
+	buf = append(buf, '\n')
+	if _, err := e.w.Write(buf); err != nil {
+		e.err = err
+	}
+}
+
+// Err returns the first emission error, if any (nil for a nil
+// receiver).
+func (e *Emitter) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Seq returns the number of events emitted so far (0 for a nil
+// receiver).
+func (e *Emitter) Seq() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}

@@ -1,0 +1,258 @@
+// Package obs is the repository's dependency-free instrumentation
+// layer: lock-free run metrics (counters, gauges, timers) collected in
+// a named Sink, a structured JSONL event Emitter, and a run-report
+// export (RunReport) the cmd tools serialize behind their -metrics
+// flag.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled. Every handle type (*Counter, *Gauge,
+//     *Timer, *Sink, *Emitter) is nil-safe: a nil receiver is a no-op,
+//     so engines instrument unconditionally and callers opt in by
+//     passing a Sink. Hot loops hold the *Counter, never re-resolve
+//     names.
+//  2. Determinism. Metric values are plain sums of the work performed,
+//     never samples of wall time, so two identical runs produce
+//     identical Snapshot counter/gauge values at any GOMAXPROCS (the
+//     race suite pins this). Wall time lives only in Timers and in the
+//     RunReport envelope.
+//  3. Standard library only, no dependencies beyond sync/atomic,
+//     encoding/json, and time.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic tally. The zero value is
+// ready to use; a nil *Counter discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by 1. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count (0 for a nil receiver).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (e.g. frontier depth). The
+// zero value is ready to use; a nil *Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// SetMax raises the gauge to n if n is larger than the current value
+// (a high-water mark). No-op on a nil receiver.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 for a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates observed durations with a count, so both the total
+// and the mean are recoverable. A nil *Timer discards observations.
+type Timer struct {
+	count atomic.Int64
+	total atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.count.Add(1)
+		t.total.Add(int64(d))
+	}
+}
+
+// Start begins timing and returns a stop function that records the
+// elapsed duration when called. Safe on a nil receiver.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Count returns the number of observations (0 for a nil receiver).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration (0 for a nil receiver).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.total.Load())
+}
+
+// Sink is a registry of named counters, gauges, and timers for one run.
+// Handles are created on first use and live for the Sink's lifetime, so
+// engines resolve each name once and update lock-free afterwards. A nil
+// *Sink hands out nil handles, making instrumentation free when
+// disabled.
+type Sink struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewSink returns an empty metrics sink.
+func NewSink() *Sink {
+	return &Sink{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+// A nil Sink returns a nil (no-op) counter.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use. A
+// nil Sink returns a nil (no-op) gauge.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it empty on first use. A nil
+// Sink returns a nil (no-op) timer.
+func (s *Sink) Timer(name string) *Timer {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.timers[name]
+	if !ok {
+		t = &Timer{}
+		s.timers[name] = t
+	}
+	return t
+}
+
+// TimerSnapshot is the exported state of one Timer.
+type TimerSnapshot struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// TotalNS is the accumulated duration in nanoseconds.
+	TotalNS int64 `json:"total_ns"`
+}
+
+// Snapshot is a point-in-time copy of a Sink's metrics, suitable for
+// JSON export and for equality comparison between runs (Counters and
+// Gauges are deterministic; Timers are wall time and are not).
+type Snapshot struct {
+	// Counters maps counter name to count.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges maps gauge name to last/maximum value.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Timers maps timer name to its observation count and total.
+	Timers map[string]TimerSnapshot `json:"timers,omitempty"`
+}
+
+// Snapshot copies the sink's current metric values. A nil Sink yields
+// an empty (but non-nil-mapped) snapshot.
+func (s *Sink) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Timers:   make(map[string]TimerSnapshot),
+	}
+	if s == nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, c := range s.counters {
+		snap.Counters[name] = c.Load()
+	}
+	for name, g := range s.gauges {
+		snap.Gauges[name] = g.Load()
+	}
+	for name, t := range s.timers {
+		snap.Timers[name] = TimerSnapshot{Count: t.Count(), TotalNS: int64(t.Total())}
+	}
+	return snap
+}
+
+// CounterNames returns the sink's counter names, sorted, for
+// deterministic rendering.
+func (s *Sink) CounterNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.counters))
+	for name := range s.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

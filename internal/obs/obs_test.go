@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every handle operation is a no-op on nil receivers, so
+// uninstrumented runs pay only the nil checks.
+func TestNilSafety(t *testing.T) {
+	t.Parallel()
+	var s *Sink
+	c := s.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 0 {
+		t.Errorf("nil counter loaded %d", got)
+	}
+	g := s.Gauge("y")
+	g.Set(7)
+	g.SetMax(9)
+	if got := g.Load(); got != 0 {
+		t.Errorf("nil gauge loaded %d", got)
+	}
+	tm := s.Timer("z")
+	tm.Observe(time.Second)
+	tm.Start()()
+	if tm.Count() != 0 || tm.Total() != 0 {
+		t.Errorf("nil timer recorded %d obs, %s total", tm.Count(), tm.Total())
+	}
+	snap := s.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Timers) != 0 {
+		t.Errorf("nil sink snapshot not empty: %+v", snap)
+	}
+	if names := s.CounterNames(); names != nil {
+		t.Errorf("nil sink counter names: %v", names)
+	}
+	var e *Emitter
+	e.Emit("nope", Fields{"a": 1})
+	if e.Err() != nil || e.Seq() != 0 {
+		t.Error("nil emitter not inert")
+	}
+}
+
+// TestConcurrentCounters hammers one sink from many goroutines; with
+// -race this doubles as the data-race check, and the totals pin the
+// determinism contract (sums of work done, not samples).
+func TestConcurrentCounters(t *testing.T) {
+	t.Parallel()
+	const workers, perWorker = 16, 1000
+	s := NewSink()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.Counter("steps")
+			g := s.Gauge("depth")
+			tm := s.Timer("lap")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(i))
+				tm.Observe(time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if got := snap.Counters["steps"]; got != workers*perWorker {
+		t.Errorf("steps = %d, want %d", got, workers*perWorker)
+	}
+	if got := snap.Gauges["depth"]; got != perWorker-1 {
+		t.Errorf("depth high-water = %d, want %d", got, perWorker-1)
+	}
+	if got := snap.Timers["lap"].Count; got != workers*perWorker {
+		t.Errorf("lap count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestSameHandle: repeated lookups of one name return the same handle.
+func TestSameHandle(t *testing.T) {
+	t.Parallel()
+	s := NewSink()
+	if s.Counter("a") != s.Counter("a") {
+		t.Error("counter handles differ across lookups")
+	}
+	if s.Gauge("a") != s.Gauge("a") {
+		t.Error("gauge handles differ across lookups")
+	}
+	if s.Timer("a") != s.Timer("a") {
+		t.Error("timer handles differ across lookups")
+	}
+	s.Counter("b").Inc()
+	if got := s.CounterNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("counter names = %v, want [a b]", got)
+	}
+}
+
+// TestEmitterJSONL: every emitted line is a standalone JSON object with
+// the reserved keys plus the payload, in emission order.
+func TestEmitterJSONL(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	fixed := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	e := NewEmitterAt(&buf, func() time.Time { return fixed })
+	e.Emit("run.start", Fields{"tool": "test"})
+	e.Emit("heartbeat", Fields{"states": 42, "frontier": 7})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", e.Seq())
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if lines[0]["event"] != "run.start" || lines[0]["tool"] != "test" || lines[0]["seq"] != float64(1) {
+		t.Errorf("first line: %v", lines[0])
+	}
+	if lines[1]["event"] != "heartbeat" || lines[1]["states"] != float64(42) {
+		t.Errorf("second line: %v", lines[1])
+	}
+	if ts, _ := lines[1]["ts"].(string); !strings.HasPrefix(ts, "2026-08-05T12:00:00") {
+		t.Errorf("ts = %v", lines[1]["ts"])
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errWrite
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write refused" }
+
+// TestEmitterLatchesError: a failing writer latches the first error and
+// later emissions are dropped instead of wedging the run.
+func TestEmitterLatchesError(t *testing.T) {
+	t.Parallel()
+	e := NewEmitter(&errWriter{n: 1})
+	e.Emit("ok", nil)
+	e.Emit("fails", nil)
+	e.Emit("dropped", nil)
+	if e.Err() != errWrite {
+		t.Fatalf("err = %v, want latched write error", e.Err())
+	}
+	if e.Seq() != 2 {
+		t.Errorf("seq advanced to %d after latched error, want 2", e.Seq())
+	}
+}
+
+// TestRunReportRoundTrip: the -metrics document round-trips through
+// JSON with counters, duration, and derived throughput intact.
+func TestRunReportRoundTrip(t *testing.T) {
+	t.Parallel()
+	s := NewSink()
+	s.Counter("explore.states").Add(1000)
+	s.Counter("explore.transitions").Add(2500)
+	s.Gauge("explore.frontier_max").SetMax(64)
+	start := time.Date(2026, 8, 5, 9, 0, 0, 0, time.UTC)
+	rep := s.Report("explore", []string{"-protocol", "alg2"}, start, 2*time.Second)
+	if got := rep.Rates["explore.states_per_sec"]; got != 500 {
+		t.Errorf("states_per_sec = %v, want 500", got)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "explore" || back.Counters["explore.transitions"] != 2500 ||
+		back.DurationNS != int64(2*time.Second) || back.Gauges["explore.frontier_max"] != 64 {
+		t.Errorf("round-tripped report differs: %+v", back)
+	}
+	if back.Rates["explore.transitions_per_sec"] != 1250 {
+		t.Errorf("transitions_per_sec = %v", back.Rates["explore.transitions_per_sec"])
+	}
+}
+
+// TestReportZeroDuration: a zero-length run yields no rates rather than
+// dividing by zero.
+func TestReportZeroDuration(t *testing.T) {
+	t.Parallel()
+	s := NewSink()
+	s.Counter("x").Inc()
+	rep := s.Report("t", nil, time.Time{}, 0)
+	if len(rep.Rates) != 0 {
+		t.Errorf("rates on zero duration: %v", rep.Rates)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// RunReport is the final run-report document the cmd tools write behind
+// their -metrics flag: the tool's identity, the wall-clock envelope,
+// every metric collected during the run, and derived per-second
+// throughput rates. The schema is documented in EXPERIMENTS.md
+// ("Reading run reports").
+type RunReport struct {
+	// Tool names the producing command (e.g. "explore").
+	Tool string `json:"tool"`
+	// Args is the command line the run was invoked with.
+	Args []string `json:"args,omitempty"`
+	// Start is the run's wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurationNS is the run's wall-clock duration in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// DurationSeconds is DurationNS in seconds, for human reading.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Counters, Gauges, and Timers are the Snapshot of the run's Sink.
+	Counters map[string]int64         `json:"counters"`
+	Gauges   map[string]int64         `json:"gauges,omitempty"`
+	Timers   map[string]TimerSnapshot `json:"timers,omitempty"`
+	// Rates maps "<counter>_per_sec" to counter/DurationSeconds for
+	// every counter — throughput (states/sec, candidates/sec, ...) for
+	// free on every metric.
+	Rates map[string]float64 `json:"rates"`
+}
+
+// Report packages the sink's snapshot into a RunReport with derived
+// rates. It works on a nil Sink (empty metrics).
+func (s *Sink) Report(tool string, args []string, start time.Time, elapsed time.Duration) *RunReport {
+	snap := s.Snapshot()
+	rep := &RunReport{
+		Tool:            tool,
+		Args:            args,
+		Start:           start,
+		DurationNS:      int64(elapsed),
+		DurationSeconds: elapsed.Seconds(),
+		Counters:        snap.Counters,
+		Gauges:          snap.Gauges,
+		Timers:          snap.Timers,
+		Rates:           make(map[string]float64, len(snap.Counters)),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		for name, v := range snap.Counters {
+			rep.Rates[name+"_per_sec"] = float64(v) / secs
+		}
+	}
+	return rep
+}
+
+// WriteJSON serializes the report as indented JSON followed by a
+// newline.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadReport parses a RunReport previously serialized with WriteJSON.
+func ReadReport(r io.Reader) (*RunReport, error) {
+	var rep RunReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

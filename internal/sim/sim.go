@@ -12,6 +12,7 @@ import (
 	"setagree/internal/explore"
 	"setagree/internal/history"
 	"setagree/internal/machine"
+	"setagree/internal/obs"
 	"setagree/internal/spec"
 	"setagree/internal/task"
 	"setagree/internal/value"
@@ -104,6 +105,11 @@ type Options struct {
 	CrashAt map[int]int
 	// RecordTrace retains the executed schedule in the result.
 	RecordTrace bool
+	// Obs, when set, receives the sim.* run metrics: runs, steps,
+	// completed, violations, and replays (runs driven by a Replay
+	// scheduler). Values are sums of work done, so identical runs yield
+	// identical metrics. Nil disables metrics at zero cost.
+	Obs *obs.Sink
 }
 
 // Result describes one run.
@@ -218,24 +224,74 @@ func Run(sys *explore.System, tsk task.Task, sched Scheduler, opts Options) (*Re
 		}
 	}
 	res.Outcome = outcome()
+	if opts.Obs != nil {
+		o := opts.Obs
+		o.Counter("sim.runs").Inc()
+		o.Counter("sim.steps").Add(int64(res.Steps))
+		if res.Completed {
+			o.Counter("sim.completed").Inc()
+		}
+		if res.Violation != nil {
+			o.Counter("sim.violations").Inc()
+		}
+		if _, isReplay := sched.(*replay); isReplay {
+			o.Counter("sim.replays").Inc()
+		}
+	}
 	return res, nil
 }
 
+// TrialViolation is the violation Trials reports: the underlying task
+// safety violation together with everything needed to reproduce the
+// failing run from the error message alone — the trial index, the
+// exact scheduler seed of that trial, and the step budget.
+type TrialViolation struct {
+	// Err is the underlying safety violation.
+	Err error
+	// Seed is the exact seed of the failing trial's scheduler; replay
+	// the run with sim.Random(Seed) on a fresh system.
+	Seed uint64
+	// Trial is the 0-based trial index within the Trials call.
+	Trial int
+	// MaxSteps is the step budget the failing run executed under.
+	MaxSteps int
+}
+
+// Error renders the violation with its reproduction recipe.
+func (v *TrialViolation) Error() string {
+	return fmt.Sprintf("trial %d (scheduler sim.Random(%d), max steps %d): %v",
+		v.Trial, v.Seed, v.MaxSteps, v.Err)
+}
+
+// Unwrap exposes the underlying safety violation to errors.Is/As.
+func (v *TrialViolation) Unwrap() error { return v.Err }
+
 // Trials runs the same system under `trials` differently seeded random
 // schedules and returns the first safety violation, if any, together
-// with the number of completed runs.
+// with the number of completed runs. A non-nil violation is always a
+// *TrialViolation carrying the failing trial's index, scheduler seed,
+// and step budget, so the failure is reproducible from the message
+// alone. With Options.Obs set, the sink additionally collects the
+// sim.trials counter on top of each run's sim.* metrics.
 func Trials(mk func() (*explore.System, error), tsk task.Task, trials int, seed uint64, opts Options) (completed int, violation error, err error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 16
+	}
+	trialCounter := opts.Obs.Counter("sim.trials")
 	for t := 0; t < trials; t++ {
 		sys, err := mk()
 		if err != nil {
 			return completed, violation, err
 		}
-		r, err := Run(sys, tsk, Random(seed+uint64(t)*0x9e37), opts)
+		trialSeed := seed + uint64(t)*0x9e37
+		r, err := Run(sys, tsk, Random(trialSeed), opts)
 		if err != nil {
 			return completed, violation, err
 		}
+		trialCounter.Inc()
 		if r.Violation != nil && violation == nil {
-			violation = fmt.Errorf("trial %d (seed %d): %w", t, seed+uint64(t)*0x9e37, r.Violation)
+			violation = &TrialViolation{Trial: t, Seed: trialSeed, MaxSteps: maxSteps, Err: r.Violation}
 		}
 		if r.Completed {
 			completed++

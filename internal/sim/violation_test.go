@@ -1,0 +1,96 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/obs"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// TestTrialViolationReproducible drives Trials into a safety violation
+// (naive consensus from one 2-SA object disagrees under contention) and
+// checks the reported error alone suffices to reproduce the failure:
+// it is a *TrialViolation naming the trial, the exact scheduler seed,
+// and the step budget, and re-running sim.Random(Seed) on a fresh
+// system reproduces the same violation.
+func TestTrialViolationReproducible(t *testing.T) {
+	t.Parallel()
+	prot := programs.NaiveTwoSAConsensus(2)
+	mk := func() (*explore.System, error) {
+		return prot.System([]value.Value{0, 1})
+	}
+	opts := sim.Options{MaxSteps: 64}
+	_, violation, err := sim.Trials(mk, task.Consensus{N: 2}, 64, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violation == nil {
+		t.Fatal("no seed exposed the 2-SA disagreement within 64 trials")
+	}
+	var tv *sim.TrialViolation
+	if !errors.As(violation, &tv) {
+		t.Fatalf("violation is %T, want *sim.TrialViolation", violation)
+	}
+	if tv.Err == nil {
+		t.Fatal("TrialViolation wraps no underlying error")
+	}
+	msg := violation.Error()
+	for _, want := range []string{
+		fmt.Sprintf("trial %d", tv.Trial),
+		fmt.Sprintf("sim.Random(%d)", tv.Seed),
+		fmt.Sprintf("max steps %d", tv.MaxSteps),
+		tv.Err.Error(),
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message %q missing %q", msg, want)
+		}
+	}
+	// The recipe works: the named seed replays the same violation.
+	sys := mustSystem(t, prot, []value.Value{0, 1})
+	res, err := sim.Run(sys, task.Consensus{N: 2}, sim.Random(tv.Seed),
+		sim.Options{MaxSteps: tv.MaxSteps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("replaying the reported seed did not reproduce the violation")
+	}
+	if res.Violation.Error() != tv.Err.Error() {
+		t.Errorf("replay violation %q differs from reported %q", res.Violation, tv.Err)
+	}
+}
+
+// TestTrialsObsCounters checks that Trials feeds the sim.* metrics:
+// one sim.trials and sim.runs per trial, and sums of executed steps.
+func TestTrialsObsCounters(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	sink := obs.NewSink()
+	const trials = 5
+	completed, violation, err := sim.Trials(func() (*explore.System, error) {
+		return prot.System(sim.Inputs(3, 1, 0))
+	}, task.DAC{N: 3, P: 0}, trials, 7, sim.Options{MaxSteps: 4096, Obs: sink})
+	if err != nil || violation != nil {
+		t.Fatalf("err=%v violation=%v", err, violation)
+	}
+	snap := sink.Snapshot()
+	if got := snap.Counters["sim.trials"]; got != trials {
+		t.Errorf("sim.trials = %d, want %d", got, trials)
+	}
+	if got := snap.Counters["sim.runs"]; got != trials {
+		t.Errorf("sim.runs = %d, want %d", got, trials)
+	}
+	if got := snap.Counters["sim.completed"]; got != int64(completed) {
+		t.Errorf("sim.completed = %d, want %d", got, completed)
+	}
+	if snap.Counters["sim.steps"] == 0 {
+		t.Error("sim.steps did not accumulate")
+	}
+}
