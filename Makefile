@@ -1,8 +1,9 @@
 # Verification targets. `make verify` is the full gate every change
 # must pass: gofmt + vet + build + tests + the race detector on the
 # packages that run goroutines (the parallel sweep engine in enumerate,
-# the explorer it drives, the lincheck fuzzer, and the obs metrics
-# layer they all feed).
+# the parallel-BFS explorer it drives — whose multi-worker determinism
+# tests run under -race here — the lincheck fuzzer, and the obs
+# metrics layer they all feed).
 
 GO ?= go
 
@@ -33,8 +34,23 @@ bench:
 
 # bench-json snapshots instrumented run reports for trajectory
 # comparison across commits (see EXPERIMENTS.md "Reading run reports").
+# BENCH_explore.json carries the workers dimension: the same alg2 -n 4
+# exploration at -workers 1 and -workers 4 (reports are byte-identical
+# by construction; only the rates differ) plus two ratios — the
+# parallel speedup (bounded by the host's core count; ~1.0 on a
+# single-core runner) and the speedup of the workers=4 engine over
+# SEED_STATES_PER_SEC, the rate the seed's sequential string-key
+# explorer recorded for the identical instance (BENCH_explore.json at
+# commit bd294c8), which isolates the compact-binary-key rewrite.
+SEED_STATES_PER_SEC = 39497.2975169156
 bench-json:
-	$(GO) run ./cmd/explore -protocol alg2 -n 4 -metrics BENCH_explore.json > /dev/null
+	$(GO) run ./cmd/explore -protocol alg2 -n 4 -workers 1 -metrics .bench_explore_w1.json > /dev/null
+	$(GO) run ./cmd/explore -protocol alg2 -n 4 -workers 4 -metrics .bench_explore_w4.json > /dev/null
+	jq -n --slurpfile w1 .bench_explore_w1.json --slurpfile w4 .bench_explore_w4.json \
+		--argjson seed $(SEED_STATES_PER_SEC) \
+		'{workers1: $$w1[0], workers4: $$w4[0], speedup_workers4_vs_workers1: ($$w4[0].rates["explore.states_per_sec"] / $$w1[0].rates["explore.states_per_sec"]), seed_sequential_states_per_sec: $$seed, speedup_workers4_vs_seed_sequential: ($$w4[0].rates["explore.states_per_sec"] / $$seed)}' \
+		> BENCH_explore.json
+	rm -f .bench_explore_w1.json .bench_explore_w4.json
 	$(GO) run ./cmd/experiments -quick -metrics BENCH_experiments.json > /dev/null
 	@echo "wrote BENCH_explore.json BENCH_experiments.json"
 

@@ -176,34 +176,48 @@ func BenchmarkSimDAC(b *testing.B) {
 
 // BenchmarkModelCheckDAC measures exhaustive verification of Theorem
 // 4.1 (the state space growth is the real measurement; states/op and
-// obs-derived states/sec are reported as custom metrics).
+// obs-derived states/sec are reported as custom metrics). The largest
+// instance adds the -workers dimension: the level-synchronized
+// parallel BFS produces a byte-identical Report at every setting, so
+// the workers=N rows measure pure speedup.
 func BenchmarkModelCheckDAC(b *testing.B) {
+	workerCounts := []int{1, 2, 4}
+	if max := runtime.GOMAXPROCS(0); max > 4 {
+		workerCounts = append(workerCounts, max)
+	}
 	for _, n := range []int{2, 3, 4} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			prot := programs.Algorithm2(n, 1)
-			inputs := sim.Inputs(n, 1, 0)
-			sink := obs.NewSink()
-			states := 0
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				sys, err := prot.System(inputs)
-				if err != nil {
-					b.Fatal(err)
+		ws := []int{1}
+		if n == 4 {
+			ws = workerCounts
+		}
+		for _, w := range ws {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				prot := programs.Algorithm2(n, 1)
+				inputs := sim.Inputs(n, 1, 0)
+				sink := obs.NewSink()
+				states := 0
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sys, err := prot.System(inputs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, err := explore.Check(sys, task.DAC{N: n, P: 0},
+						explore.Options{Obs: sink, Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Solved() {
+						b.Fatal(rep.Violations[0])
+					}
+					states = rep.States
 				}
-				rep, err := explore.Check(sys, task.DAC{N: n, P: 0}, explore.Options{Obs: sink})
-				if err != nil {
-					b.Fatal(err)
+				b.ReportMetric(float64(states), "states")
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(sink.Counter("explore.states").Load())/secs, "states/sec")
 				}
-				if !rep.Solved() {
-					b.Fatal(rep.Violations[0])
-				}
-				states = rep.States
-			}
-			b.ReportMetric(float64(states), "states")
-			if secs := b.Elapsed().Seconds(); secs > 0 {
-				b.ReportMetric(float64(sink.Counter("explore.states").Load())/secs, "states/sec")
-			}
-		})
+			})
+		}
 	}
 }
 

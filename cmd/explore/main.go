@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	explore -protocol alg2 -n 3 -p 1 [-inputs 1,0,0] [-valency] [-witness]
+//	explore -protocol alg2 -n 3 -p 1 [-inputs 1,0,0] [-valency] [-witness] [-workers N]
 //	explore -protocol consensus-pacm -n 3 -m 2
 //	explore -protocol partition -k 2 -m 2
 //	explore -protocol naive-2sa -procs 2
@@ -25,11 +25,17 @@
 // inconclusive (the -max-states cap was hit; the partial exploration
 // counts, elapsed wall time, and states/sec are printed).
 //
+// Exploration runs a level-synchronized parallel BFS; -workers sets
+// the goroutine count (default GOMAXPROCS) and every report, witness
+// schedule, valency label, and DOT file is byte-identical at any
+// setting. Systems are capped at 64 processes (the Stepped bitmask).
+//
 // Observability (shared with every cmd tool; see EXPERIMENTS.md
 // "Reading run reports"): -metrics <file> writes the final run-report
 // JSON, -events <file> streams JSONL events (explore.heartbeat while
-// the search runs, explore.done / explore.statelimit at the end),
-// -cpuprofile / -memprofile write pprof profiles.
+// the search runs, explore.done / explore.statelimit / explore.error
+// at the end, all carrying a "workers" field), -cpuprofile /
+// -memprofile write pprof profiles.
 package main
 
 import (
@@ -70,6 +76,7 @@ type config struct {
 	witness   bool
 	annotate  bool
 	maxStates int
+	workers   int
 	dotFile   string
 }
 
@@ -93,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.annotate, "annotate", false, "replay witnesses with object-state annotations (implies -witness)")
 	fs.BoolVar(&c.witness, "witness", false, "print full witness schedules")
 	fs.IntVar(&c.maxStates, "max-states", 1<<21, "state cap")
+	fs.IntVar(&c.workers, "workers", 0, "BFS worker goroutines (0 = GOMAXPROCS; output is byte-identical at any setting)")
 	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -124,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep, err := explore.Check(sys, tsk, explore.Options{
 		Valency:   c.valency,
 		MaxStates: c.maxStates,
+		Workers:   c.workers,
 		Obs:       sess.Sink,
 		Events:    sess.Events,
 	})

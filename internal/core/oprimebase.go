@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"sort"
 	"strconv"
 	"strings"
@@ -70,7 +71,25 @@ func (s OPrimeBaseState) Key() string {
 	return b.String()
 }
 
+// AppendKey implements spec.AppendKeyer (canonical: 2-SA components in
+// ascending k).
+func (s OPrimeBaseState) AppendKey(dst []byte) []byte {
+	dst = spec.AppendStateKey(dst, s.Consensus)
+	ks := make([]int, 0, len(s.TwoSA))
+	for k := range s.TwoSA {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	dst = binary.AppendUvarint(dst, uint64(len(ks)))
+	for _, k := range ks {
+		dst = binary.AppendUvarint(dst, uint64(k))
+		dst = spec.AppendStateKey(dst, s.TwoSA[k])
+	}
+	return dst
+}
+
 var _ spec.State = OPrimeBaseState{}
+var _ spec.AppendKeyer = OPrimeBaseState{}
 
 // Init implements spec.Spec.
 func (o OPrimeFromBase) Init() spec.State {

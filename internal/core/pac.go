@@ -5,6 +5,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"strconv"
 	"strings"
 
@@ -51,7 +52,24 @@ func (s PACState) Key() string {
 	return b.String()
 }
 
+// AppendKey implements spec.AppendKeyer.
+func (s PACState) AppendKey(dst []byte) []byte {
+	upset := byte(0)
+	if s.Upset {
+		upset = 1
+	}
+	dst = append(dst, upset)
+	dst = binary.AppendUvarint(dst, uint64(s.L))
+	dst = binary.AppendVarint(dst, int64(s.Val))
+	dst = binary.AppendUvarint(dst, uint64(len(s.V)))
+	for _, v := range s.V {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
 var _ spec.State = PACState{}
+var _ spec.AppendKeyer = PACState{}
 
 func (s PACState) clone() PACState {
 	v := make([]value.Value, len(s.V))

@@ -13,6 +13,8 @@
 package explore
 
 import (
+	"encoding/binary"
+	"fmt"
 	"strconv"
 	"strings"
 
@@ -48,7 +50,10 @@ type Config struct {
 	SteppedMask uint64
 }
 
-// Key returns the canonical encoding of the configuration.
+// Key returns the canonical human-readable encoding of the
+// configuration. The explorer interns configurations through the
+// compact binary AppendKey instead; Key remains for debugging and for
+// the invariant tests that cross-check the two encodings.
 func (c *Config) Key() string {
 	var b strings.Builder
 	b.WriteString(strconv.FormatUint(c.SteppedMask, 36))
@@ -61,6 +66,25 @@ func (c *Config) Key() string {
 		b.WriteString(o.Key())
 	}
 	return b.String()
+}
+
+// AppendKey appends the canonical compact binary encoding of the
+// configuration to dst and returns the extended slice. Two
+// configurations of one System are equal iff their encodings are equal:
+// the process and object counts are fixed per System and every
+// component encoding is self-delimiting, so the concatenation is
+// injective. The explorer interns configurations by these bytes through
+// a map[string]int with zero-copy string(bytes) lookups, which is what
+// keeps per-state allocations off the hot path.
+func (c *Config) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, c.SteppedMask)
+	for _, p := range c.Procs {
+		dst = p.AppendKey(dst)
+	}
+	for _, o := range c.Objs {
+		dst = spec.AppendStateKey(dst, o)
+	}
+	return dst
 }
 
 // Outcome projects the externally visible outcome of the configuration
@@ -94,10 +118,20 @@ func (c *Config) Quiescent() bool {
 	return true
 }
 
+// MaxProcs is the largest process count the explorer accepts:
+// Config.SteppedMask tracks "has taken a step" in a uint64, so a 65th
+// process would silently overflow the mask and corrupt the
+// Nontriviality/Stepped projection.
+const MaxProcs = 64
+
 // initialConfig builds the initial configuration of the system: every
 // process started on its input, every object in its initial state.
 func initialConfig(sys *System) (*Config, error) {
 	n := sys.Procs()
+	if n > MaxProcs {
+		return nil, fmt.Errorf("explore: %d processes exceed the %d-process bound (SteppedMask is a uint64): %w",
+			n, MaxProcs, machine.ErrProgram)
+	}
 	c := &Config{
 		Procs: make([]machine.ProcState, n),
 		Objs:  make([]spec.State, len(sys.Objects)),

@@ -3,6 +3,8 @@ package explore
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"setagree/internal/machine"
 	"setagree/internal/obs"
@@ -24,25 +26,37 @@ type Options struct {
 	// MaxStates caps the number of distinct configurations explored
 	// (default 1 << 21).
 	MaxStates int
+	// Workers is the number of goroutines expanding frontier shards of
+	// the level-synchronized BFS (default runtime.GOMAXPROCS(0)).
+	// Exploration is deterministic at every setting: successors are
+	// merged into the configuration table single-threaded at each level
+	// barrier in canonical (parent id, step order) order, so
+	// configuration ids — and with them Report counts, witness
+	// schedules, valency labels, and DOT output — are byte-identical at
+	// Workers 1 and Workers 64.
+	Workers int
 	// Valency enables valence labelling of every configuration and
 	// critical-configuration detection. It requires a binary task (all
 	// decisions in {0, 1}).
 	Valency bool
 	// Obs, when set, receives the run's metrics: the explore.* counters
 	// (runs, states, transitions, quiescent, violations, statelimit
-	// hits, valency label tallies) and the explore.frontier_max gauge.
-	// Counter values depend only on the explored graph, never on
-	// scheduling or wall time, so identical runs produce identical
-	// metrics. Nil disables metrics at zero cost.
+	// hits, errors, valency label tallies), the explore.frontier_max
+	// gauge (level-granular: the unexpanded remainder measured at each
+	// level barrier), and the explore.workers gauge. Counter values
+	// depend only on the explored graph, never on scheduling or wall
+	// time, so identical runs produce identical metrics. Nil disables
+	// metrics at zero cost.
 	Obs *obs.Sink
 	// Events, when set, receives structured JSONL events: a periodic
-	// explore.heartbeat while the BFS runs (replacing the engine's
-	// former silence on long explorations) and a final explore.done /
-	// explore.statelimit. Nil disables events.
+	// explore.heartbeat while the BFS runs and exactly one terminal
+	// event per Check call — explore.done on success,
+	// explore.statelimit when MaxStates was hit, or explore.error (with
+	// an "error" field) when the engine failed. Nil disables events.
 	Events *obs.Emitter
-	// HeartbeatEvery emits an explore.heartbeat after every N expanded
-	// configurations when Events is set (default 1 << 15; negative
-	// disables heartbeats).
+	// HeartbeatEvery emits an explore.heartbeat at the first level
+	// barrier after every N expanded configurations when Events is set
+	// (default 1 << 15; negative disables heartbeats).
 	HeartbeatEvery int
 }
 
@@ -105,8 +119,12 @@ type Violation struct {
 	Proc int
 }
 
-// Error renders the violation.
+// Error renders the violation. A Violation without an Err (e.g. a
+// zero value) renders its kind alone rather than panicking.
 func (v *Violation) Error() string {
+	if v.Err == nil {
+		return v.Kind.String()
+	}
 	return v.Kind.String() + ": " + v.Err.Error()
 }
 
@@ -131,7 +149,10 @@ type Report struct {
 // Solved reports whether no violation was found.
 func (r *Report) Solved() bool { return len(r.Violations) == 0 }
 
-// graph is the explored configuration graph.
+// graph is the explored configuration graph. Configurations are
+// interned by their compact binary key (Config.AppendKey); map lookups
+// go through string(bytes), which the compiler compiles to a zero-copy
+// probe, so only fresh configurations allocate a key.
 type graph struct {
 	sys     *System
 	tsk     task.Task
@@ -148,8 +169,20 @@ type edge struct {
 	step Step
 }
 
+// minShardConfigs is the smallest per-worker shard worth a goroutine:
+// narrower levels are expanded inline to keep barrier overhead off
+// small graphs.
+const minShardConfigs = 8
+
 // Check explores the full reachable configuration graph of sys and
 // verifies tsk's safety and liveness properties over it.
+//
+// The exploration is a level-synchronized parallel BFS (Options.
+// Workers goroutines) with deterministic output at every worker count.
+// On failure after argument validation — ErrStateLimit, a successor
+// engine error, or a valency error — Check flushes partial counters,
+// emits the matching terminal event, and returns the partial Report
+// alongside the error.
 func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 	if len(sys.Programs) != len(sys.Inputs) {
 		return nil, fmt.Errorf("explore: %d programs but %d inputs: %w",
@@ -165,55 +198,33 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 	if opts.HeartbeatEvery == 0 {
 		opts.HeartbeatEvery = 1 << 15
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 
 	g := &graph{sys: sys, tsk: tsk, ids: make(map[string]int)}
 	rep := &Report{g: g}
+	st := &search{g: g, rep: rep, opts: &opts, frontierMax: 1, hbNext: opts.HeartbeatEvery}
+	fail := func(err error) (*Report, error) {
+		rep.States = len(g.configs)
+		st.flush("explore.error", err)
+		return rep, err
+	}
 
 	root, err := initialConfig(sys)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	g.add(root, -1, Step{})
+	g.intern(root.AppendKey(nil), root, -1, Step{})
 
-	frontierMax := 1
-	for at := 0; at < len(g.configs); at++ {
-		if frontier := len(g.configs) - at; frontier > frontierMax {
-			frontierMax = frontier
+	if err := st.bfs(); err != nil {
+		rep.States = len(g.configs)
+		if errors.Is(err, ErrStateLimit) {
+			st.flush("explore.statelimit", err)
+			return rep, err
 		}
-		if opts.Events != nil && opts.HeartbeatEvery > 0 && at > 0 && at%opts.HeartbeatEvery == 0 {
-			opts.Events.Emit("explore.heartbeat", obs.Fields{
-				"expanded":    at,
-				"states":      len(g.configs),
-				"transitions": rep.Transitions,
-				"frontier":    len(g.configs) - at,
-			})
-		}
-		c := g.configs[at]
-		if c.Quiescent() {
-			rep.Quiescent++
-		}
-		for i := range c.Procs {
-			if !c.Live(i) {
-				continue
-			}
-			nexts, steps, err := successors(sys, c, i)
-			if err != nil {
-				return nil, err
-			}
-			for b, nc := range nexts {
-				id, fresh := g.add(nc, at, steps[b])
-				g.edges[at] = append(g.edges[at], edge{to: id, step: steps[b]})
-				rep.Transitions++
-				if fresh && len(g.configs) > opts.MaxStates {
-					// Keep the partial report self-consistent: States must
-					// count the configurations actually interned, matching
-					// the Transitions already tallied.
-					rep.States = len(g.configs)
-					flushObs(rep, &opts, frontierMax, true)
-					return rep, fmt.Errorf("explore: %d states: %w", len(g.configs), ErrStateLimit)
-				}
-			}
-		}
+		st.flush("explore.error", err)
+		return rep, err
 	}
 	rep.States = len(g.configs)
 
@@ -224,19 +235,226 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 	if opts.Valency {
 		v, err := g.valency()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		rep.Valency = v
 	}
-	flushObs(rep, &opts, frontierMax, false)
+	st.flush("explore.done", nil)
 	return rep, nil
 }
 
-// flushObs folds a finished (or state-limited) exploration into the
-// optional metrics sink and emits the terminal event. Counters are
-// flushed once per run rather than incremented per transition, so
-// instrumented explorations stay within noise of uninstrumented ones.
-func flushObs(rep *Report, opts *Options, frontierMax int, partial bool) {
+// search is the state of one level-synchronized BFS.
+type search struct {
+	g           *graph
+	rep         *Report
+	opts        *Options
+	expanded    int // configurations expanded (all levels merged so far)
+	frontierMax int // max unexpanded remainder at any level barrier
+	hbNext      int // next heartbeat boundary in expanded configs
+}
+
+// succRec is one successor produced by a worker, in canonical (proc,
+// branch) order within its parent's expansion.
+type succRec struct {
+	cfg      *Config // retained only when the successor was not yet interned
+	step     Step
+	id       int // interned id when >= 0 (already in the global table)
+	off, end int // key bytes in the shard's arena when id < 0
+}
+
+// expansion is the full successor set of one expanded configuration.
+type expansion struct {
+	quiescent bool
+	succs     []succRec
+}
+
+// shardOut is one worker's result for a contiguous shard of a BFS
+// level. The shard's key arena keeps candidate keys alive without one
+// allocation per successor.
+type shardOut struct {
+	start int // first config id of the shard
+	exps  []expansion
+	arena []byte
+	err   error
+	errAt int // config id whose expansion failed
+}
+
+// bfs runs the level-synchronized exploration: workers expand disjoint
+// contiguous shards of the current level against the frozen
+// configuration table, then a single-threaded merge interns successors
+// in canonical order. Because FIFO BFS discovers whole levels
+// contiguously, the canonical merge assigns exactly the ids a
+// sequential BFS would, at any worker count.
+func (st *search) bfs() error {
+	g := st.g
+	for levelStart := 0; levelStart < len(g.configs); {
+		levelEnd := len(g.configs)
+		outs := st.expandLevel(levelStart, levelEnd)
+		if err := st.mergeLevel(outs); err != nil {
+			return err
+		}
+		st.expanded = levelEnd
+		if frontier := len(g.configs) - st.expanded; frontier > st.frontierMax {
+			st.frontierMax = frontier
+		}
+		st.heartbeat()
+		levelStart = levelEnd
+	}
+	return nil
+}
+
+// expandLevel fans the level's configurations out to contiguous shards,
+// one goroutine each; levels too narrow to amortize a barrier are
+// expanded inline.
+func (st *search) expandLevel(levelStart, levelEnd int) []*shardOut {
+	size := levelEnd - levelStart
+	shards := st.opts.Workers
+	if max := (size + minShardConfigs - 1) / minShardConfigs; shards > max {
+		shards = max
+	}
+	if shards <= 1 {
+		return []*shardOut{st.expandShard(levelStart, levelEnd)}
+	}
+	chunk := (size + shards - 1) / shards
+	outs := make([]*shardOut, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		start := levelStart + w*chunk
+		end := start + chunk
+		if end > levelEnd {
+			end = levelEnd
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			outs[w] = st.expandShard(start, end)
+		}(w, start, end)
+	}
+	wg.Wait()
+	return outs
+}
+
+// expandShard expands configurations [start, end) against the frozen
+// global table (read-only during a level, so lock-free). Successor keys
+// are built in a reusable scratch buffer; already-interned successors
+// cost no allocation at all, fresh ones are copied into the shard
+// arena for the merge.
+func (st *search) expandShard(start, end int) *shardOut {
+	g := st.g
+	out := &shardOut{start: start, exps: make([]expansion, 0, end-start)}
+	var scratch []byte
+	for at := start; at < end; at++ {
+		c := g.configs[at]
+		exp := expansion{quiescent: c.Quiescent()}
+		for i := range c.Procs {
+			if !c.Live(i) {
+				continue
+			}
+			nexts, steps, err := successors(g.sys, c, i)
+			if err != nil {
+				out.err = err
+				out.errAt = at
+				return out
+			}
+			for b, nc := range nexts {
+				scratch = nc.AppendKey(scratch[:0])
+				rec := succRec{step: steps[b], id: -1}
+				if id, ok := g.ids[string(scratch)]; ok {
+					rec.id = id
+				} else {
+					rec.cfg = nc
+					rec.off = len(out.arena)
+					out.arena = append(out.arena, scratch...)
+					rec.end = len(out.arena)
+				}
+				exp.succs = append(exp.succs, rec)
+			}
+		}
+		out.exps = append(out.exps, exp)
+	}
+	return out
+}
+
+// mergeLevel folds the shard results into the graph single-threaded,
+// in ascending (config id, proc, branch) order — the exact order a
+// sequential BFS interns successors, which is what makes ids canonical.
+// Successors two shards discovered independently deduplicate here. On a
+// worker error the level is not merged and the canonically first error
+// (smallest config id) is returned, so the error — and the counters,
+// which then cover completed levels only — are identical at any worker
+// count.
+func (st *search) mergeLevel(outs []*shardOut) error {
+	var firstErr error
+	errAt := -1
+	for _, out := range outs {
+		if out.err != nil && (errAt < 0 || out.errAt < errAt) {
+			firstErr, errAt = out.err, out.errAt
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	g, rep := st.g, st.rep
+	for _, out := range outs {
+		for rel := range out.exps {
+			exp := &out.exps[rel]
+			at := out.start + rel
+			if exp.quiescent {
+				rep.Quiescent++
+			}
+			for _, s := range exp.succs {
+				id, fresh := s.id, false
+				if id < 0 {
+					key := out.arena[s.off:s.end]
+					if known, ok := g.ids[string(key)]; ok {
+						id = known
+					} else {
+						id = g.intern(key, s.cfg, at, s.step)
+						fresh = true
+					}
+				}
+				g.edges[at] = append(g.edges[at], edge{to: id, step: s.step})
+				rep.Transitions++
+				if fresh && len(g.configs) > st.opts.MaxStates {
+					// Keep the partial report self-consistent: States must
+					// count the configurations actually interned, matching
+					// the Transitions already tallied.
+					return fmt.Errorf("explore: %d states: %w", len(g.configs), ErrStateLimit)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// heartbeat emits one explore.heartbeat at the first level barrier
+// after each HeartbeatEvery expanded configurations. Field values are
+// level-boundary snapshots, so the stream is deterministic at any
+// worker count.
+func (st *search) heartbeat() {
+	opts := st.opts
+	if opts.Events == nil || opts.HeartbeatEvery <= 0 || st.expanded < st.hbNext {
+		return
+	}
+	for st.hbNext <= st.expanded {
+		st.hbNext += opts.HeartbeatEvery
+	}
+	opts.Events.Emit("explore.heartbeat", obs.Fields{
+		"expanded":    st.expanded,
+		"states":      len(st.g.configs),
+		"transitions": st.rep.Transitions,
+		"frontier":    len(st.g.configs) - st.expanded,
+	})
+}
+
+// flush folds the exploration into the optional metrics sink and emits
+// the terminal event (explore.done, explore.statelimit, or
+// explore.error — exactly one per Check call, on every exit path past
+// argument validation). Counters are flushed once per run rather than
+// incremented per transition, so instrumented explorations stay within
+// noise of uninstrumented ones.
+func (st *search) flush(event string, err error) {
+	rep, opts := st.rep, st.opts
 	if opts.Obs != nil {
 		o := opts.Obs
 		o.Counter("explore.runs").Inc()
@@ -244,10 +462,14 @@ func flushObs(rep *Report, opts *Options, frontierMax int, partial bool) {
 		o.Counter("explore.transitions").Add(int64(rep.Transitions))
 		o.Counter("explore.quiescent").Add(int64(rep.Quiescent))
 		o.Counter("explore.violations").Add(int64(len(rep.Violations)))
-		if partial {
+		switch event {
+		case "explore.statelimit":
 			o.Counter("explore.statelimit_hits").Inc()
+		case "explore.error":
+			o.Counter("explore.errors").Inc()
 		}
-		o.Gauge("explore.frontier_max").SetMax(int64(frontierMax))
+		o.Gauge("explore.frontier_max").SetMax(int64(st.frontierMax))
+		o.Gauge("explore.workers").SetMax(int64(opts.Workers))
 		if v := rep.Valency; v != nil {
 			o.Counter("explore.valency.bivalent").Add(int64(v.Bivalent))
 			o.Counter("explore.valency.univalent0").Add(int64(v.Univalent0))
@@ -257,16 +479,16 @@ func flushObs(rep *Report, opts *Options, frontierMax int, partial bool) {
 		}
 	}
 	if opts.Events != nil {
-		event := "explore.done"
-		if partial {
-			event = "explore.statelimit"
-		}
 		fields := obs.Fields{
 			"states":       rep.States,
 			"transitions":  rep.Transitions,
 			"quiescent":    rep.Quiescent,
 			"violations":   len(rep.Violations),
-			"frontier_max": frontierMax,
+			"frontier_max": st.frontierMax,
+			"workers":      opts.Workers,
+		}
+		if event == "explore.error" && err != nil {
+			fields["error"] = err.Error()
 		}
 		if v := rep.Valency; v != nil {
 			fields["bivalent"] = v.Bivalent
@@ -276,20 +498,18 @@ func flushObs(rep *Report, opts *Options, frontierMax int, partial bool) {
 	}
 }
 
-// add interns c, recording its BFS parent when first seen. It returns
-// the config id and whether it was fresh.
-func (g *graph) add(c *Config, parent int, via Step) (int, bool) {
-	key := c.Key()
-	if id, ok := g.ids[key]; ok {
-		return id, false
-	}
+// intern adds a fresh configuration under its binary key, recording its
+// BFS parent, and returns the new id. The caller has already verified
+// the key is absent; the string conversion here is the single per-state
+// key allocation.
+func (g *graph) intern(key []byte, c *Config, parent int, via Step) int {
 	id := len(g.configs)
-	g.ids[key] = id
+	g.ids[string(key)] = id
 	g.configs = append(g.configs, c)
 	g.edges = append(g.edges, nil)
 	g.parent = append(g.parent, parent)
 	g.parentE = append(g.parentE, via)
-	return id, true
+	return id
 }
 
 // pathTo reconstructs the BFS schedule from the root to config id.

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -87,6 +88,22 @@ func (ps ProcState) Key() string {
 		b.WriteString(strconv.FormatInt(int64(r), 36))
 	}
 	return b.String()
+}
+
+// AppendKey appends a compact, self-delimiting binary encoding of the
+// process state to dst, with the same canonicity contract as Key. The
+// model checker interns configurations through these bytes, so this is
+// the allocation-free hot-path twin of Key (which remains the
+// human-readable rendering).
+func (ps ProcState) AppendKey(dst []byte) []byte {
+	dst = append(dst, byte(ps.Status))
+	dst = binary.AppendUvarint(dst, uint64(ps.PC))
+	dst = binary.AppendVarint(dst, int64(ps.Decision))
+	dst = binary.AppendUvarint(dst, uint64(len(ps.Regs)))
+	for _, r := range ps.Regs {
+		dst = binary.AppendVarint(dst, int64(r))
+	}
+	return dst
 }
 
 func (ps ProcState) cloneRegs() []value.Value {

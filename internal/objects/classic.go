@@ -1,6 +1,7 @@
 package objects
 
 import (
+	"encoding/binary"
 	"strconv"
 	"strings"
 
@@ -33,7 +34,17 @@ func (s QueueState) Key() string {
 	return b.String()
 }
 
+// AppendKey implements spec.AppendKeyer.
+func (s QueueState) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s.Items)))
+	for _, v := range s.Items {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
 var _ spec.State = QueueState{}
+var _ spec.AppendKeyer = QueueState{}
 
 // Queue is the sequential specification of a FIFO queue: ENQUEUE(v)
 // returns done; DEQUEUE returns and removes the head, or None when
@@ -109,7 +120,13 @@ type CounterState struct {
 // Key implements spec.State.
 func (s CounterState) Key() string { return "c" + strconv.FormatInt(int64(s.Total), 36) }
 
+// AppendKey implements spec.AppendKeyer.
+func (s CounterState) AppendKey(dst []byte) []byte {
+	return binary.AppendVarint(dst, int64(s.Total))
+}
+
 var _ spec.State = CounterState{}
+var _ spec.AppendKeyer = CounterState{}
 
 // Counter is the sequential specification of a fetch&add counter:
 // FETCH_ADD(v) adds v and returns the prior total. Its consensus number
@@ -165,7 +182,16 @@ func (s TASState) Key() string {
 	return "t0"
 }
 
+// AppendKey implements spec.AppendKeyer.
+func (s TASState) AppendKey(dst []byte) []byte {
+	if s.Set {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
 var _ spec.State = TASState{}
+var _ spec.AppendKeyer = TASState{}
 
 // TestAndSet is the sequential specification of a test&set bit:
 // TEST_AND_SET returns the prior value (0 for the first caller, 1 ever

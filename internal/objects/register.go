@@ -9,6 +9,7 @@
 package objects
 
 import (
+	"encoding/binary"
 	"strconv"
 
 	"setagree/internal/spec"
@@ -27,7 +28,13 @@ func (s RegisterState) Key() string {
 	return strconv.FormatInt(int64(s.Val), 36)
 }
 
+// AppendKey implements spec.AppendKeyer.
+func (s RegisterState) AppendKey(dst []byte) []byte {
+	return binary.AppendVarint(dst, int64(s.Val))
+}
+
 var _ spec.State = RegisterState{}
+var _ spec.AppendKeyer = RegisterState{}
 
 // Register is the sequential specification of an atomic read/write
 // register holding a single Value.

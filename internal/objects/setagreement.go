@@ -1,6 +1,7 @@
 package objects
 
 import (
+	"encoding/binary"
 	"strconv"
 	"strings"
 
@@ -38,7 +39,17 @@ func (s SetAgreementState) Key() string {
 	return b.String()
 }
 
+// AppendKey implements spec.AppendKeyer.
+func (s SetAgreementState) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s.Vals)))
+	for _, v := range s.Vals {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return binary.AppendUvarint(dst, uint64(s.Count))
+}
+
 var _ spec.State = SetAgreementState{}
+var _ spec.AppendKeyer = SetAgreementState{}
 
 func (s SetAgreementState) contains(v value.Value) bool {
 	for _, x := range s.Vals {
