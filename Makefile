@@ -26,8 +26,14 @@ build:
 test:
 	$(GO) test ./...
 
+# The two pinned-worker runs re-execute the symmetry soundness suite
+# (reduced-vs-unreduced verdict equality + witness replay) under the
+# race detector at exactly Workers=1 and Workers=4; the unpinned
+# ./internal/explore run above already covers the default {1,2,8} set.
 race:
 	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs
+	EXPLORE_SYMMETRY_WORKERS=1 $(GO) test -race -run 'TestSymmetry' ./internal/explore
+	EXPLORE_SYMMETRY_WORKERS=4 $(GO) test -race -run 'TestSymmetry' ./internal/explore
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -42,15 +48,33 @@ bench:
 # SEED_STATES_PER_SEC, the rate the seed's sequential string-key
 # explorer recorded for the identical instance (BENCH_explore.json at
 # commit bd294c8), which isolates the compact-binary-key rewrite.
+# The symmetry block compares the same instances reduced vs unreduced
+# (alg2 -n 4 at off/ids/values, alg2 -n 5 at off/ids; the -workers 1
+# run doubles as the n=4 "off" baseline). Honest framing: the reduced
+# runs intern orbit representatives, so "explore.states" shrinks by up
+# to the group order while the raw states_per_sec rate DROPS (each
+# interned state pays a canonicalization minimum over the group); the
+# wall-clock win shows up in covered_states_per_sec — concrete states
+# verified per second, i.e. the unreduced state count over the reduced
+# run's wall time. benchmem_raw snapshots the off-vs-ids allocs/op
+# rows of BenchmarkModelCheckDAC (the key-scratch pooling measurement).
 SEED_STATES_PER_SEC = 39497.2975169156
 bench-json:
 	$(GO) run ./cmd/explore -protocol alg2 -n 4 -workers 1 -metrics .bench_explore_w1.json > /dev/null
 	$(GO) run ./cmd/explore -protocol alg2 -n 4 -workers 4 -metrics .bench_explore_w4.json > /dev/null
+	$(GO) run ./cmd/explore -protocol alg2 -n 4 -symmetry ids -metrics .bench_sym_n4_ids.json > /dev/null
+	$(GO) run ./cmd/explore -protocol alg2 -n 4 -symmetry values -metrics .bench_sym_n4_values.json > /dev/null
+	$(GO) run ./cmd/explore -protocol alg2 -n 5 -metrics .bench_sym_n5_off.json > /dev/null
+	$(GO) run ./cmd/explore -protocol alg2 -n 5 -symmetry ids -metrics .bench_sym_n5_ids.json > /dev/null
+	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=4/symmetry' -benchmem . > .bench_sym_allocs.txt
 	jq -n --slurpfile w1 .bench_explore_w1.json --slurpfile w4 .bench_explore_w4.json \
+		--slurpfile s4i .bench_sym_n4_ids.json --slurpfile s4v .bench_sym_n4_values.json \
+		--slurpfile s5o .bench_sym_n5_off.json --slurpfile s5i .bench_sym_n5_ids.json \
+		--rawfile benchmem .bench_sym_allocs.txt \
 		--argjson seed $(SEED_STATES_PER_SEC) \
-		'{workers1: $$w1[0], workers4: $$w4[0], speedup_workers4_vs_workers1: ($$w4[0].rates["explore.states_per_sec"] / $$w1[0].rates["explore.states_per_sec"]), seed_sequential_states_per_sec: $$seed, speedup_workers4_vs_seed_sequential: ($$w4[0].rates["explore.states_per_sec"] / $$seed)}' \
-		> BENCH_explore.json
-	rm -f .bench_explore_w1.json .bench_explore_w4.json
+		-f bench_explore.jq > BENCH_explore.json
+	rm -f .bench_explore_w1.json .bench_explore_w4.json .bench_sym_n4_ids.json \
+		.bench_sym_n4_values.json .bench_sym_n5_off.json .bench_sym_n5_ids.json .bench_sym_allocs.txt
 	$(GO) run ./cmd/experiments -quick -metrics BENCH_experiments.json > /dev/null
 	@echo "wrote BENCH_explore.json BENCH_experiments.json"
 

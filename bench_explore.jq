@@ -1,0 +1,49 @@
+# Builds BENCH_explore.json (see Makefile bench-json). Inputs arrive as
+# --slurpfile w1/w4 (alg2 -n 4 unreduced at workers 1/4), s4i/s4v
+# (alg2 -n 4 -symmetry ids/values), s5o/s5i (alg2 -n 5 off/ids),
+# --rawfile benchmem (the -benchmem rows of BenchmarkModelCheckDAC's
+# symmetry dimension), and --argjson seed (the seed explorer's
+# sequential states/sec on the identical instance).
+#
+# Reduced runs intern orbit representatives: explore.states shrinks by
+# up to the group order while the raw states_per_sec rate drops (each
+# interned state pays a canonicalization minimum over the group). The
+# honest throughput comparison is covered_states_per_sec: concrete
+# states verified per second = unreduced state count / reduced wall
+# time; covered_speedup_* divides that by the unreduced rate.
+
+def sym(m): {
+  states: m.counters["explore.states"],
+  states_per_sec: m.rates["explore.states_per_sec"],
+  seconds: m.duration_seconds,
+  symmetry_hits: (m.counters["explore.symmetry_hits"] // 0),
+  orbit_size_max: (m.gauges["explore.orbit_size_max"] // 1)
+};
+
+def compare(off; red): {
+  states_reduction: (off.states / red.states),
+  covered_states_per_sec: (off.states / red.seconds),
+  covered_speedup: ((off.states / red.seconds) / off.states_per_sec)
+};
+
+{
+  workers1: $w1[0],
+  workers4: $w4[0],
+  speedup_workers4_vs_workers1:
+    ($w4[0].rates["explore.states_per_sec"] / $w1[0].rates["explore.states_per_sec"]),
+  seed_sequential_states_per_sec: $seed,
+  speedup_workers4_vs_seed_sequential:
+    ($w4[0].rates["explore.states_per_sec"] / $seed),
+  symmetry: {
+    alg2_n4: (sym($w1[0]) as $off | sym($s4i[0]) as $ids | sym($s4v[0]) as $vals | {
+      off: $off, ids: $ids, values: $vals,
+      ids_vs_off: compare($off; $ids),
+      values_vs_off: compare($off; $vals)
+    }),
+    alg2_n5: (sym($s5o[0]) as $off | sym($s5i[0]) as $ids | {
+      off: $off, ids: $ids,
+      ids_vs_off: compare($off; $ids)
+    }),
+    benchmem_raw: ($benchmem | split("\n") | map(select(test("symmetry"))))
+  }
+}

@@ -179,7 +179,12 @@ func BenchmarkSimDAC(b *testing.B) {
 // obs-derived states/sec are reported as custom metrics). The largest
 // instance adds the -workers dimension: the level-synchronized
 // parallel BFS produces a byte-identical Report at every setting, so
-// the workers=N rows measure pure speedup.
+// the workers=N rows measure pure speedup. The symmetry=MODE rows add
+// the orbit-reduction dimension at workers=1: the verdict is the same,
+// but the reduced rows intern orbit representatives only, so "states"
+// shrinks by up to the group order while each interned state pays the
+// canonicalization minimum over the group (allocs/op measures the
+// per-shard key-scratch pooling).
 func BenchmarkModelCheckDAC(b *testing.B) {
 	workerCounts := []int{1, 2, 4}
 	if max := runtime.GOMAXPROCS(0); max > 4 {
@@ -192,32 +197,45 @@ func BenchmarkModelCheckDAC(b *testing.B) {
 		}
 		for _, w := range ws {
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
-				prot := programs.Algorithm2(n, 1)
-				inputs := sim.Inputs(n, 1, 0)
-				sink := obs.NewSink()
-				states := 0
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					sys, err := prot.System(inputs)
-					if err != nil {
-						b.Fatal(err)
-					}
-					rep, err := explore.Check(sys, task.DAC{N: n, P: 0},
-						explore.Options{Obs: sink, Workers: w})
-					if err != nil {
-						b.Fatal(err)
-					}
-					if !rep.Solved() {
-						b.Fatal(rep.Violations[0])
-					}
-					states = rep.States
-				}
-				b.ReportMetric(float64(states), "states")
-				if secs := b.Elapsed().Seconds(); secs > 0 {
-					b.ReportMetric(float64(sink.Counter("explore.states").Load())/secs, "states/sec")
-				}
+				benchModelCheckDAC(b, n, sim.Inputs(n, 1, 0), w, explore.SymmetryOff)
 			})
 		}
+	}
+	// The symmetry rows use the canonical input vector 1,0,…,0 (the
+	// CLI's default), whose n-1 zero-input processes give the largest
+	// admissible group; sim.Inputs' cycling vector would cut it to 2.
+	canonical := make([]value.Value, 4)
+	canonical[0] = 1
+	for _, mode := range []explore.Symmetry{explore.SymmetryOff, explore.SymmetryIDs} {
+		b.Run(fmt.Sprintf("n=4/symmetry=%s", mode), func(b *testing.B) {
+			benchModelCheckDAC(b, 4, canonical, 1, mode)
+		})
+	}
+}
+
+func benchModelCheckDAC(b *testing.B, n int, inputs []value.Value, workers int, mode explore.Symmetry) {
+	prot := programs.Algorithm2(n, 1)
+	sink := obs.NewSink()
+	states := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := prot.System(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := explore.Check(sys, task.DAC{N: n, P: 0},
+			explore.Options{Obs: sink, Workers: workers, Symmetry: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Solved() {
+			b.Fatal(rep.Violations[0])
+		}
+		states = rep.States
+	}
+	b.ReportMetric(float64(states), "states")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(sink.Counter("explore.states").Load())/secs, "states/sec")
 	}
 }
 

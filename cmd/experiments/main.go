@@ -6,13 +6,17 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-v] [-workers N]
+//	experiments [-quick] [-v] [-workers N] [-symmetry off|ids|values]
 //	            [-metrics out.json] [-events out.jsonl]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -quick trims the heavier rows (depth-2 sweeps, n >= 5 state spaces).
 // -workers sets the goroutine count for the falsification sweeps
 // (default: GOMAXPROCS); verdicts are identical at every setting.
+// -symmetry ids|values model-checks on the symmetry-reduced
+// configuration graph (verdicts are unchanged; rows whose system or
+// analysis rejects the reduction fall back to unreduced and say so —
+// E11's adversary row always runs unreduced).
 // With -v the sweeps additionally report live progress. -metrics
 // writes a run-report JSON aggregating every row's explore.* and
 // sweep.* counters with throughput rates; -events streams one
@@ -22,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -55,13 +60,14 @@ type row struct {
 }
 
 type runner struct {
-	rows    []row
-	quick   bool
-	verbose bool
-	workers int
-	out     io.Writer
-	sink    *obs.Sink
-	events  *obs.Emitter
+	rows     []row
+	quick    bool
+	verbose  bool
+	workers  int
+	symmetry explore.Symmetry
+	out      io.Writer
+	sink     *obs.Sink
+	events   *obs.Emitter
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -70,8 +76,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "trim the heavier experiments")
 	verbose := fs.Bool("v", false, "print each row as it finishes, with sweep progress")
 	workers := fs.Int("workers", 0, "worker goroutines per falsification sweep (default GOMAXPROCS)")
+	symmetry := fs.String("symmetry", "off", "symmetry reduction for the model checks: off | ids | values (rows whose system rejects it fall back to unreduced)")
 	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	symMode, err := explore.ParseSymmetry(*symmetry)
+	if err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
 		return 2
 	}
 	sess, err := obsflags.Start("experiments", obsF, args)
@@ -81,12 +93,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer sess.CloseTo(stderr)
 	r := &runner{
-		quick:   *quick,
-		verbose: *verbose,
-		workers: *workers,
-		out:     stdout,
-		sink:    sess.Sink,
-		events:  sess.Events,
+		quick:    *quick,
+		verbose:  *verbose,
+		workers:  *workers,
+		symmetry: symMode,
+		out:      stdout,
+		sink:     sess.Sink,
+		events:   sess.Events,
 	}
 
 	r.e2Algorithm2()
@@ -140,7 +153,11 @@ func (r *runner) add(id, claim, instance string, ok bool, detail string, elapsed
 }
 
 // checkSolved model-checks a protocol and reports solved + state count,
-// feeding the run's metrics sink and event stream when enabled.
+// feeding the run's metrics sink and event stream when enabled. The
+// -symmetry mode is applied per row; rows whose system rejects the
+// reduction (asymmetric objects, or an analysis the quotient does not
+// support) are transparently re-checked unreduced — the verdict is
+// exact either way.
 func (r *runner) checkSolved(prot programs.Protocol, tsk task.Task, inputs []value.Value, opts explore.Options) (bool, string, error) {
 	sys, err := prot.System(inputs)
 	if err != nil {
@@ -148,11 +165,26 @@ func (r *runner) checkSolved(prot programs.Protocol, tsk task.Task, inputs []val
 	}
 	opts.Obs = r.sink
 	opts.Events = r.events
+	opts.Symmetry = r.symmetry
 	rep, err := explore.Check(sys, tsk, opts)
+	suffix := ""
+	if opts.Symmetry != explore.SymmetryOff {
+		if errors.Is(err, explore.ErrNotSymmetric) || errors.Is(err, explore.ErrSymmetryUnsupported) {
+			fresh, sysErr := prot.System(inputs)
+			if sysErr != nil {
+				return false, "", sysErr
+			}
+			opts.Symmetry = explore.SymmetryOff
+			rep, err = explore.Check(fresh, tsk, opts)
+			suffix = "; symmetry n/a"
+		} else if err == nil {
+			suffix = fmt.Sprintf("; orbit reps, |G|=%d", rep.SymmetryGroupOrder())
+		}
+	}
 	if err != nil {
 		return false, "", err
 	}
-	detail := fmt.Sprintf("%d configs", rep.States)
+	detail := fmt.Sprintf("%d configs%s", rep.States, suffix)
 	if !rep.Solved() {
 		detail += "; " + rep.Violations[0].Error()
 	}
@@ -227,7 +259,7 @@ func binaryVectors(n int) [][]value.Value {
 // sweepOptions wires the -workers flag and, with -v, live progress into
 // a falsification sweep.
 func (r *runner) sweepOptions(id string) enumerate.SweepOptions {
-	opts := enumerate.SweepOptions{Workers: r.workers, Obs: r.sink, Events: r.events}
+	opts := enumerate.SweepOptions{Workers: r.workers, Symmetry: r.symmetry, Obs: r.sink, Events: r.events}
 	if r.verbose {
 		opts.OnProgress = func(p enumerate.Progress) {
 			if p.Candidates%1000 == 0 {
@@ -389,6 +421,8 @@ func (r *runner) e11Valency() {
 		r.add("E11", "Claims 4.2.4-7: valency structure", "n=3", false, err.Error(), time.Since(start))
 		return
 	}
+	// Deliberately unreduced regardless of -symmetry: this row drives the
+	// bivalence-preserving adversary, which walks the concrete graph.
 	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{Valency: true, Obs: r.sink, Events: r.events})
 	if err != nil {
 		r.add("E11", "Claims 4.2.4-7: valency structure", "n=3", false, err.Error(), time.Since(start))

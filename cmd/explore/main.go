@@ -30,6 +30,15 @@
 // schedule, valency label, and DOT file is byte-identical at any
 // setting. Systems are capped at 64 processes (the Stepped bitmask).
 //
+// -symmetry ids|values interns one canonical representative per orbit
+// of the admissible process (and, for values, input-value) permutation
+// group: verdicts are identical to an unreduced run and witnesses stay
+// concrete, but the state graph shrinks by up to the group order.
+// Incompatible requests are rejected up front: systems whose objects
+// or task admit no symmetry (ErrNotSymmetric), and -valency with
+// -symmetry values, -adversary, or resilience-bounded liveness under
+// any reduction (ErrSymmetryUnsupported).
+//
 // Observability (shared with every cmd tool; see EXPERIMENTS.md
 // "Reading run reports"): -metrics <file> writes the final run-report
 // JSON, -events <file> streams JSONL events (explore.heartbeat while
@@ -77,6 +86,7 @@ type config struct {
 	annotate  bool
 	maxStates int
 	workers   int
+	symmetry  string
 	dotFile   string
 }
 
@@ -101,8 +111,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.witness, "witness", false, "print full witness schedules")
 	fs.IntVar(&c.maxStates, "max-states", 1<<21, "state cap")
 	fs.IntVar(&c.workers, "workers", 0, "BFS worker goroutines (0 = GOMAXPROCS; output is byte-identical at any setting)")
+	fs.StringVar(&c.symmetry, "symmetry", "off", "symmetry reduction: off | ids | values (intern orbit representatives; verdicts match -symmetry off)")
 	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	symMode, err := explore.ParseSymmetry(c.symmetry)
+	if err != nil {
+		fmt.Fprintf(stderr, "explore: %v\n", err)
 		return 2
 	}
 
@@ -133,6 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Valency:   c.valency,
 		MaxStates: c.maxStates,
 		Workers:   c.workers,
+		Symmetry:  symMode,
 		Obs:       sess.Sink,
 		Events:    sess.Events,
 	})
@@ -154,6 +171,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "explored: %d configurations, %d transitions, %d quiescent\n",
 		rep.States, rep.Transitions, rep.Quiescent)
+	if symMode != explore.SymmetryOff {
+		fmt.Fprintf(stdout, "symmetry: %s (group order %d) — counts are orbit representatives\n",
+			symMode, rep.SymmetryGroupOrder())
+	}
 	fmt.Fprintf(stdout, "elapsed:  %s (%.0f states/sec)\n",
 		elapsed.Round(time.Microsecond), statesPerSec(rep.States, elapsed))
 

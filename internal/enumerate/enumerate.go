@@ -280,6 +280,12 @@ type Report struct {
 	// SampleFailure is the refuted assignment with the lowest candidate
 	// index, with its violation, for reporting.
 	SampleFailure *Failure
+	// SymmetryFallbacks counts candidates that requested symmetry
+	// reduction (SweepOptions.Symmetry) but were checked unreduced
+	// because their system rejected it (asymmetric objects, or an
+	// analysis the quotient does not support). The verdicts for those
+	// candidates are exact either way.
+	SymmetryFallbacks int
 }
 
 // Failure is one refuted candidate.

@@ -33,6 +33,15 @@ type SweepOptions struct {
 	// (default runtime.GOMAXPROCS(0)). The Report is identical for every
 	// worker count: results are aggregated by candidate index.
 	Workers int
+	// Symmetry, when not SymmetryOff, model-checks each candidate on the
+	// symmetry-reduced configuration graph (see explore.Options.Symmetry;
+	// verdicts are identical to unreduced checks). A candidate whose
+	// system rejects the reduction — explore.ErrNotSymmetric or
+	// explore.ErrSymmetryUnsupported — is transparently re-checked
+	// unreduced and counted in Report.SymmetryFallbacks and the
+	// sweep.symmetry_fallbacks metric; it is not an error. All other
+	// check errors still abort the sweep.
+	Symmetry explore.Symmetry
 	// OnProgress, when set, receives a snapshot after each candidate
 	// completes. Calls are serialized and counters are nondecreasing,
 	// but with Workers > 1 the completion order is not the candidate
@@ -239,6 +248,7 @@ type outcome struct {
 	inconclusive *Inconclusive
 	solver       bool
 	states       int
+	symFallback  bool
 	err          error
 }
 
@@ -258,13 +268,14 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 	// Metric handles are resolved once per sweep; a nil Obs hands out
 	// nil (no-op) handles, so the uninstrumented path pays nothing.
 	var (
-		candCounter    = opts.Obs.Counter("sweep.candidates")
-		statesCounter  = opts.Obs.Counter("sweep.states")
-		incCounter     = opts.Obs.Counter("sweep.inconclusive")
-		refutedCounter = opts.Obs.Counter("sweep.refuted")
-		solverCounter  = opts.Obs.Counter("sweep.solvers")
-		candTimer      = opts.Obs.Timer("sweep.candidate")
-		timed          = opts.Obs != nil || opts.Events != nil
+		candCounter     = opts.Obs.Counter("sweep.candidates")
+		statesCounter   = opts.Obs.Counter("sweep.states")
+		incCounter      = opts.Obs.Counter("sweep.inconclusive")
+		refutedCounter  = opts.Obs.Counter("sweep.refuted")
+		solverCounter   = opts.Obs.Counter("sweep.solvers")
+		fallbackCounter = opts.Obs.Counter("sweep.symmetry_fallbacks")
+		candTimer       = opts.Obs.Timer("sweep.candidate")
+		timed           = opts.Obs != nil || opts.Events != nil
 	)
 	opts.Obs.Counter("sweep.sweeps").Inc()
 	opts.Obs.Counter("sweep.pruned").Add(int64(rep.Pruned))
@@ -298,6 +309,9 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 				}
 				candCounter.Inc()
 				statesCounter.Add(int64(out.states))
+				if out.symFallback {
+					fallbackCounter.Inc()
+				}
 				verdict := "refuted"
 				switch {
 				case out.inconclusive != nil:
@@ -345,6 +359,9 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 	for i := range outcomes {
 		o := &outcomes[i]
 		rep.States += o.states
+		if o.symFallback {
+			rep.SymmetryFallbacks++
+		}
 		switch {
 		case o.failure != nil:
 			if rep.SampleFailure == nil {
@@ -358,11 +375,12 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 	}
 	if opts.Events != nil {
 		opts.Events.Emit("sweep.done", obs.Fields{
-			"candidates":   rep.Candidates,
-			"pruned":       rep.Pruned,
-			"states":       rep.States,
-			"inconclusive": len(rep.Inconclusive),
-			"solvers":      len(rep.Solvers),
+			"candidates":         rep.Candidates,
+			"pruned":             rep.Pruned,
+			"states":             rep.States,
+			"inconclusive":       len(rep.Inconclusive),
+			"solvers":            len(rep.Solvers),
+			"symmetry_fallbacks": rep.SymmetryFallbacks,
 		})
 	}
 	return nil
@@ -376,6 +394,7 @@ func checkCandidate(c candidate, objs []spec.Spec, tsk task.Task,
 	inputVectors [][]value.Value, opts SweepOptions,
 ) outcome {
 	var out outcome
+	mode := opts.Symmetry
 	for _, in := range inputVectors {
 		sys := &explore.System{Programs: c.progs, Objects: objs, Inputs: in}
 		// The sweep's sink (if any) accumulates the explore.* counters
@@ -385,9 +404,23 @@ func checkCandidate(c candidate, objs []spec.Spec, tsk task.Task,
 		// rather than model-checker states).
 		r, err := explore.Check(sys, tsk, explore.Options{
 			MaxStates:      opts.MaxStatesPerCandidate,
+			Symmetry:       mode,
 			Obs:            opts.Obs,
 			HeartbeatEvery: -1,
 		})
+		if mode != explore.SymmetryOff &&
+			(errors.Is(err, explore.ErrNotSymmetric) || errors.Is(err, explore.ErrSymmetryUnsupported)) {
+			// This candidate's system admits no reduction; re-check it (and
+			// its remaining vectors) unreduced. The verdict is exact either
+			// way, so the fallback is recorded rather than fatal.
+			mode = explore.SymmetryOff
+			out.symFallback = true
+			r, err = explore.Check(sys, tsk, explore.Options{
+				MaxStates:      opts.MaxStatesPerCandidate,
+				Obs:            opts.Obs,
+				HeartbeatEvery: -1,
+			})
+		}
 		if errors.Is(err, explore.ErrStateLimit) {
 			out.states += r.States
 			if out.inconclusive == nil {

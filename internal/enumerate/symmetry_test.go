@@ -1,0 +1,102 @@
+package enumerate_test
+
+import (
+	"reflect"
+	"testing"
+
+	"setagree/internal/enumerate"
+	"setagree/internal/objects"
+	"setagree/internal/obs"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+
+	"setagree/internal/explore"
+)
+
+// TestSweepSymmetryEquivalence: a sweep under symmetry reduction
+// reaches exactly the same report — candidates, solvers, inconclusive,
+// sample failure — as the unreduced sweep, with zero fallbacks when
+// every candidate's system admits the reduction.
+func TestSweepSymmetryEquivalence(t *testing.T) {
+	t.Parallel()
+	f := theorem42Family(1)
+	base, err := enumerate.FalsifySymmetric(f, task.Consensus{N: 2}, binaryVectors(2), enumerate.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []explore.Symmetry{explore.SymmetryIDs, explore.SymmetryValues} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			red, err := enumerate.FalsifySymmetric(f, task.Consensus{N: 2}, binaryVectors(2),
+				enumerate.SweepOptions{Symmetry: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if red.SymmetryFallbacks != 0 {
+				t.Errorf("%d fallbacks on a fully symmetric family", red.SymmetryFallbacks)
+			}
+			if red.Candidates != base.Candidates || red.Pruned != base.Pruned {
+				t.Fatalf("candidates/pruned %d/%d, want %d/%d",
+					red.Candidates, red.Pruned, base.Candidates, base.Pruned)
+			}
+			if !reflect.DeepEqual(red.Solvers, base.Solvers) {
+				t.Errorf("solver sets differ: reduced %v, unreduced %v", red.Solvers, base.Solvers)
+			}
+			if !reflect.DeepEqual(red.Inconclusive, base.Inconclusive) {
+				t.Errorf("inconclusive sets differ: reduced %v, unreduced %v",
+					red.Inconclusive, base.Inconclusive)
+			}
+			if (red.SampleFailure == nil) != (base.SampleFailure == nil) {
+				t.Errorf("sample failure presence differs")
+			}
+			if red.States > base.States {
+				t.Errorf("reduced sweep explored more states (%d) than unreduced (%d)",
+					red.States, base.States)
+			}
+		})
+	}
+}
+
+// TestSweepSymmetryFallback: a family whose object base includes a
+// fetch&add counter (whose state lacks spec.Symmetric) cannot be
+// reduced; every candidate transparently falls back to an unreduced
+// check, the report matches the Symmetry-off sweep, and the fallbacks
+// are counted in both the report and the sweep.symmetry_fallbacks
+// metric.
+func TestSweepSymmetryFallback(t *testing.T) {
+	t.Parallel()
+	f := &enumerate.Family{
+		Objects: []spec.Spec{objects.NewConsensus(2), objects.NewCounter()},
+		Menu: []enumerate.Invoke{
+			{Obj: 0, Method: value.MethodPropose, Arg: enumerate.ArgInput},
+		},
+		Depth:   1,
+		Actions: []enumerate.Action{enumerate.ActDecideLast, enumerate.ActRetry},
+	}
+	base, err := enumerate.FalsifySymmetric(f, task.Consensus{N: 2}, binaryVectors(2), enumerate.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewSink()
+	red, err := enumerate.FalsifySymmetric(f, task.Consensus{N: 2}, binaryVectors(2),
+		enumerate.SweepOptions{Symmetry: explore.SymmetryIDs, Obs: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Candidates == 0 {
+		t.Fatal("sweep checked no candidates")
+	}
+	if red.SymmetryFallbacks != red.Candidates {
+		t.Fatalf("SymmetryFallbacks = %d, want every candidate (%d)",
+			red.SymmetryFallbacks, red.Candidates)
+	}
+	if got := sink.Snapshot().Counters["sweep.symmetry_fallbacks"]; got != int64(red.Candidates) {
+		t.Fatalf("sweep.symmetry_fallbacks = %d, want %d", got, red.Candidates)
+	}
+	if !reflect.DeepEqual(red.Solvers, base.Solvers) || red.States != base.States {
+		t.Fatalf("fallback sweep diverged from unreduced: %d/%d states, solvers %v vs %v",
+			red.States, base.States, red.Solvers, base.Solvers)
+	}
+}

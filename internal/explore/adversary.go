@@ -47,6 +47,13 @@ func (r *Report) Adversary() (*AdversaryResult, error) {
 	if r.Valency == nil || r.g == nil || len(r.g.valence) == 0 {
 		return nil, ErrNoValency
 	}
+	if r.g.grp != nil {
+		// Region paths concatenate quotient edges, whose concrete steps
+		// belong to different orbit translates; the spliced schedule
+		// would not be a real execution. Re-explore unreduced.
+		return nil, fmt.Errorf("explore: the adversary walks the concrete configuration graph; re-explore with SymmetryOff: %w",
+			ErrSymmetryUnsupported)
+	}
 	g := r.g
 	if !g.valence[0].Bivalent() {
 		return nil, fmt.Errorf("initial configuration is %s: %w", g.valence[0], ErrNoValency)

@@ -87,6 +87,28 @@ func (c *Config) AppendKey(dst []byte) []byte {
 	return dst
 }
 
+// AppendKeyUnder appends the binary key the permuted configuration
+// p·c — process i's state moved to slot p.ProcIdx(i) and renamed, the
+// stepped mask permuted alongside, object states keyed under p — would
+// produce from AppendKey. It implements the spec.Symmetric contract at
+// the configuration level and is what orbit canonicalization minimizes
+// over. Panics when an object state lacks spec.Symmetric; the explorer
+// validates that up front, so this is unreachable past buildGroup.
+func (c *Config) AppendKeyUnder(dst []byte, p spec.Perm) []byte {
+	dst = binary.AppendUvarint(dst, permuteMask(c.SteppedMask, p))
+	for j := range c.Procs {
+		dst = c.Procs[p.ProcInvIdx(j)].AppendKeyUnder(dst, p)
+	}
+	for _, o := range c.Objs {
+		var ok bool
+		dst, ok = spec.AppendStateKeyUnder(dst, o, p)
+		if !ok {
+			panic(fmt.Sprintf("explore: object state %T does not implement spec.Symmetric", o))
+		}
+	}
+	return dst
+}
+
 // Outcome projects the externally visible outcome of the configuration
 // for task predicates.
 func (c *Config) Outcome(inputs []value.Value) task.Outcome {

@@ -39,6 +39,17 @@ type Options struct {
 	// critical-configuration detection. It requires a binary task (all
 	// decisions in {0, 1}).
 	Valency bool
+	// Symmetry selects orbit-canonical interning (see the package's
+	// symmetry.go): configurations equal up to an admissible process-id
+	// (and, for SymmetryValues, value) permutation are explored once,
+	// shrinking the graph by up to the symmetry group's order. Verdicts
+	// match an unreduced run, and witnesses stay concrete, replayable
+	// schedules — equal to unreduced ones up to a uniform permutation.
+	// Check rejects the mode with ErrNotSymmetric when the system lacks
+	// the required structure, and combinations that are unsound on the
+	// quotient (resilience-bounded liveness; Valency with
+	// SymmetryValues) with ErrSymmetryUnsupported. Default off.
+	Symmetry Symmetry
 	// Obs, when set, receives the run's metrics: the explore.* counters
 	// (runs, states, transitions, quiescent, violations, statelimit
 	// hits, errors, valency label tallies), the explore.frontier_max
@@ -162,11 +173,18 @@ type graph struct {
 	parent  []int     // BFS tree: parent config id (-1 for root)
 	parentE []Step    // BFS tree: step from parent
 	valence []Valence // per-config valence, populated by valency()
+	grp     *group    // symmetry group, nil when Options.Symmetry is off
+	canon   []int     // per config: group index g with perms[g]·config canonical
 }
 
 type edge struct {
 	to   int
 	step Step
+	// g is the group index relating the concrete successor D the step
+	// produces to the stored representative: D = perms[g]·configs[to].
+	// Always 0 when symmetry is off, and on BFS tree edges (the stored
+	// representative IS the first-discovered concrete successor).
+	g int
 }
 
 // minShardConfigs is the smallest per-worker shard worth a goroutine:
@@ -215,7 +233,23 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 	if err != nil {
 		return fail(err)
 	}
-	g.intern(root.AppendKey(nil), root, -1, Step{})
+	if opts.Symmetry != SymmetryOff {
+		if opts.Valency && opts.Symmetry == SymmetryValues {
+			return fail(fmt.Errorf("explore: valency labels are not invariant under value permutations; use SymmetryIDs or SymmetryOff: %w",
+				ErrSymmetryUnsupported))
+		}
+		grp, err := buildGroup(sys, tsk, opts.Symmetry)
+		if err != nil {
+			return fail(err)
+		}
+		if err := grp.checkRootStable(root); err != nil {
+			return fail(err)
+		}
+		g.grp = grp
+	}
+	// Every group element stabilizes the root, so its concrete key is
+	// already canonical.
+	g.intern(root.AppendKey(nil), root, -1, Step{}, 0)
 
 	if err := st.bfs(); err != nil {
 		rep.States = len(g.configs)
@@ -251,6 +285,8 @@ type search struct {
 	expanded    int // configurations expanded (all levels merged so far)
 	frontierMax int // max unexpanded remainder at any level barrier
 	hbNext      int // next heartbeat boundary in expanded configs
+	symHits     int // successors whose canonical key differed from their concrete key
+	orbitMax    int // largest successor orbit seen
 }
 
 // succRec is one successor produced by a worker, in canonical (proc,
@@ -260,6 +296,7 @@ type succRec struct {
 	step     Step
 	id       int // interned id when >= 0 (already in the global table)
 	off, end int // key bytes in the shard's arena when id < 0
+	gi       int // group index minimizing the key (0 when symmetry off)
 }
 
 // expansion is the full successor set of one expanded configuration.
@@ -272,11 +309,13 @@ type expansion struct {
 // level. The shard's key arena keeps candidate keys alive without one
 // allocation per successor.
 type shardOut struct {
-	start int // first config id of the shard
-	exps  []expansion
-	arena []byte
-	err   error
-	errAt int // config id whose expansion failed
+	start    int // first config id of the shard
+	exps     []expansion
+	arena    []byte
+	err      error
+	errAt    int // config id whose expansion failed
+	symHits  int // successors canonicalized to a different key
+	orbitMax int // largest successor orbit in the shard
 }
 
 // bfs runs the level-synchronized exploration: workers expand disjoint
@@ -336,13 +375,16 @@ func (st *search) expandLevel(levelStart, levelEnd int) []*shardOut {
 
 // expandShard expands configurations [start, end) against the frozen
 // global table (read-only during a level, so lock-free). Successor keys
-// are built in a reusable scratch buffer; already-interned successors
-// cost no allocation at all, fresh ones are copied into the shard
-// arena for the merge.
+// are built in pooled scratch buffers that persist across shards and
+// levels; already-interned successors cost no allocation at all, fresh
+// ones are copied into the shard arena for the merge. Under symmetry
+// the probed key is the canonical orbit minimum rather than the
+// concrete key.
 func (st *search) expandShard(start, end int) *shardOut {
 	g := st.g
 	out := &shardOut{start: start, exps: make([]expansion, 0, end-start)}
-	var scratch []byte
+	sc := keyScratchPool.Get().(*keyScratch)
+	defer keyScratchPool.Put(sc)
 	for at := start; at < end; at++ {
 		c := g.configs[at]
 		exp := expansion{quiescent: c.Quiescent()}
@@ -357,14 +399,27 @@ func (st *search) expandShard(start, end int) *shardOut {
 				return out
 			}
 			for b, nc := range nexts {
-				scratch = nc.AppendKey(scratch[:0])
 				rec := succRec{step: steps[b], id: -1}
-				if id, ok := g.ids[string(scratch)]; ok {
+				var key []byte
+				if g.grp != nil {
+					var orbit int
+					key, rec.gi, orbit = g.grp.canonical(sc, nc)
+					if orbit > out.orbitMax {
+						out.orbitMax = orbit
+					}
+					if rec.gi != 0 {
+						out.symHits++
+					}
+				} else {
+					sc.best = nc.AppendKey(sc.best[:0])
+					key = sc.best
+				}
+				if id, ok := g.ids[string(key)]; ok {
 					rec.id = id
 				} else {
 					rec.cfg = nc
 					rec.off = len(out.arena)
-					out.arena = append(out.arena, scratch...)
+					out.arena = append(out.arena, key...)
 					rec.end = len(out.arena)
 				}
 				exp.succs = append(exp.succs, rec)
@@ -396,6 +451,12 @@ func (st *search) mergeLevel(outs []*shardOut) error {
 	}
 	g, rep := st.g, st.rep
 	for _, out := range outs {
+		st.symHits += out.symHits
+		if out.orbitMax > st.orbitMax {
+			st.orbitMax = out.orbitMax
+		}
+	}
+	for _, out := range outs {
 		for rel := range out.exps {
 			exp := &out.exps[rel]
 			at := out.start + rel
@@ -409,11 +470,18 @@ func (st *search) mergeLevel(outs []*shardOut) error {
 					if known, ok := g.ids[string(key)]; ok {
 						id = known
 					} else {
-						id = g.intern(key, s.cfg, at, s.step)
+						id = g.intern(key, s.cfg, at, s.step, s.gi)
 						fresh = true
 					}
 				}
-				g.edges[at] = append(g.edges[at], edge{to: id, step: s.step})
+				gi := 0
+				if g.grp != nil {
+					// The concrete successor D satisfies
+					// perms[s.gi]·D = canonical = perms[canon[id]]·R_id,
+					// so D = perms[inv(s.gi) ∘ canon[id]]·R_id.
+					gi = g.grp.comp[g.grp.inv[s.gi]][g.canon[id]]
+				}
+				g.edges[at] = append(g.edges[at], edge{to: id, step: s.step, g: gi})
 				rep.Transitions++
 				if fresh && len(g.configs) > st.opts.MaxStates {
 					// Keep the partial report self-consistent: States must
@@ -470,6 +538,10 @@ func (st *search) flush(event string, err error) {
 		}
 		o.Gauge("explore.frontier_max").SetMax(int64(st.frontierMax))
 		o.Gauge("explore.workers").SetMax(int64(opts.Workers))
+		if st.g.grp != nil {
+			o.Counter("explore.symmetry_hits").Add(int64(st.symHits))
+			o.Gauge("explore.orbit_size_max").SetMax(int64(st.orbitMax))
+		}
 		if v := rep.Valency; v != nil {
 			o.Counter("explore.valency.bivalent").Add(int64(v.Bivalent))
 			o.Counter("explore.valency.univalent0").Add(int64(v.Univalent0))
@@ -490,6 +562,12 @@ func (st *search) flush(event string, err error) {
 		if event == "explore.error" && err != nil {
 			fields["error"] = err.Error()
 		}
+		if st.g.grp != nil {
+			fields["symmetry"] = opts.Symmetry.String()
+			fields["group_order"] = len(st.g.grp.perms)
+			fields["symmetry_hits"] = st.symHits
+			fields["orbit_size_max"] = st.orbitMax
+		}
 		if v := rep.Valency; v != nil {
 			fields["bivalent"] = v.Bivalent
 			fields["critical"] = v.CriticalCount
@@ -498,17 +576,20 @@ func (st *search) flush(event string, err error) {
 	}
 }
 
-// intern adds a fresh configuration under its binary key, recording its
-// BFS parent, and returns the new id. The caller has already verified
-// the key is absent; the string conversion here is the single per-state
-// key allocation.
-func (g *graph) intern(key []byte, c *Config, parent int, via Step) int {
+// intern adds a fresh configuration under its binary key (the
+// canonical orbit key when symmetry is on; the stored configuration
+// stays concrete), recording its BFS parent and the group index gi
+// that canonicalizes it, and returns the new id. The caller has
+// already verified the key is absent; the string conversion here is
+// the single per-state key allocation.
+func (g *graph) intern(key []byte, c *Config, parent int, via Step, gi int) int {
 	id := len(g.configs)
 	g.ids[string(key)] = id
 	g.configs = append(g.configs, c)
 	g.edges = append(g.edges, nil)
 	g.parent = append(g.parent, parent)
 	g.parentE = append(g.parentE, via)
+	g.canon = append(g.canon, gi)
 	return id
 }
 

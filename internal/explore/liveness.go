@@ -85,8 +85,14 @@ func (g *graph) checkLiveness(rep *Report) {
 			case isDAC:
 				// Termination (b) prohibits only solo livelocks: the
 				// cycle must consist purely of i-steps. Check whether an
-				// i-only cycle through this edge exists.
-				if !g.soloCycle(from, e.to, i, comp) {
+				// i-only cycle through this edge exists — in the lifted
+				// graph when the exploration was symmetry-reduced, since
+				// quotient i-edges conflate steps of i's translates.
+				if g.grp != nil {
+					if !g.liftedSolo(from, e, comp) {
+						continue
+					}
+				} else if !g.soloCycle(from, e.to, i, comp) {
 					continue
 				}
 				kind = ViolationDACTerminationB
@@ -113,7 +119,15 @@ func (g *graph) checkLiveness(rep *Report) {
 			}
 			reported[i] = true
 			wit := g.pathTo(from)
-			cyc := append([]Step{e.step}, g.cyclePath(e.to, from, i, kind, comp)...)
+			var cyc []Step
+			if g.grp != nil {
+				// Quotient edges chain concrete steps of different orbit
+				// translates; the lifted walk re-aligns them into one
+				// concrete cycle schedule.
+				cyc = g.liftedCycle(from, e, i, kind == ViolationDACTerminationB, comp)
+			} else {
+				cyc = append([]Step{e.step}, g.cyclePath(e.to, from, i, kind, comp)...)
+			}
 			rep.Violations = append(rep.Violations, &Violation{
 				Kind: kind,
 				Err: fmt.Errorf("process %d takes infinitely many steps without deciding: %w",

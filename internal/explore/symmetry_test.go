@@ -1,0 +1,405 @@
+package explore_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/machine"
+	"setagree/internal/objects"
+	"setagree/internal/obs"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// symmetryWorkerSet returns the worker counts the soundness suite runs
+// reduced explorations at. EXPLORE_SYMMETRY_WORKERS pins a single
+// count — the Makefile's race target uses it to cover Workers 1 and 4
+// under -race without tripling the suite.
+func symmetryWorkerSet(t *testing.T) []int {
+	t.Helper()
+	if s := os.Getenv("EXPLORE_SYMMETRY_WORKERS"); s != "" {
+		w, err := strconv.Atoi(s)
+		if err != nil || w < 1 {
+			t.Fatalf("EXPLORE_SYMMETRY_WORKERS=%q: %v", s, err)
+		}
+		return []int{w}
+	}
+	return []int{1, 2, 8}
+}
+
+// violationKinds collects the distinct violation kinds of a report.
+// Symmetry reduction may conflate which translate of a process gets
+// reported, so soundness compares kind sets rather than violation
+// lists verbatim.
+func violationKinds(rep *explore.Report) map[explore.ViolationKind]bool {
+	kinds := map[explore.ViolationKind]bool{}
+	for _, v := range rep.Violations {
+		kinds[v.Kind] = true
+	}
+	return kinds
+}
+
+// replaySchedule drives sched through the simulator with trace
+// recording and asserts the replay is faithful: every step executes
+// exactly as scheduled (sim's Replay scheduler silently substitutes
+// live processes and branch 0 when a schedule is inapplicable, which
+// trace comparison catches).
+func replaySchedule(t *testing.T, sys *explore.System, tsk task.Task, sched []explore.Step) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sys, tsk, sim.Replay(sched), sim.Options{
+		MaxSteps:    len(sched),
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(res.Trace) != len(sched) {
+		t.Fatalf("replay executed %d of %d scheduled steps", len(res.Trace), len(sched))
+	}
+	for k := range sched {
+		if res.Trace[k] != sched[k] {
+			t.Fatalf("replay diverged at step %d: scheduled %v, executed %v",
+				k, sched[k], res.Trace[k])
+		}
+	}
+	return res
+}
+
+// TestSymmetrySound cross-checks reduced against unreduced exploration
+// on every determinism-suite protocol: identical verdicts, state
+// counts bounded by the orbit equation, deterministic reduced runs at
+// every worker count, and concrete witnesses that replay step-for-step
+// in the simulator — safety witnesses reproduce the violation,
+// liveness witnesses execute their cycle.
+func TestSymmetrySound(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name   string
+		prot   programs.Protocol
+		inputs []value.Value
+		tsk    task.Task
+		modes  []explore.Symmetry
+	}{
+		{
+			// Solved n-DAC protocol: the two 0-input non-distinguished
+			// processes are exchangeable in ids mode.
+			name:   "algorithm2-dac",
+			prot:   programs.Algorithm2(3, 1),
+			inputs: []value.Value{1, 0, 0},
+			tsk:    task.DAC{N: 3, P: 0},
+			modes:  []explore.Symmetry{explore.SymmetryIDs, explore.SymmetryValues},
+		},
+		{
+			// Safety violation: ids mode has a trivial group (distinct
+			// inputs); values mode can swap the processes along with
+			// their proposals.
+			name:   "naive-2sa-safety",
+			prot:   programs.NaiveTwoSAConsensus(2),
+			inputs: []value.Value{0, 1},
+			tsk:    task.Consensus{N: 2},
+			modes:  []explore.Symmetry{explore.SymmetryIDs, explore.SymmetryValues},
+		},
+		{
+			// Liveness violations with cycle witnesses.
+			name:   "oversubscribed-liveness",
+			prot:   programs.OverSubscribedConsensus(2),
+			inputs: []value.Value{0, 1, 2},
+			tsk:    task.Consensus{N: 3},
+			modes:  []explore.Symmetry{explore.SymmetryIDs, explore.SymmetryValues},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys, err := tc.prot.System(tc.inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := explore.Check(sys, tc.tsk, explore.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range tc.modes {
+				mode := mode
+				t.Run(mode.String(), func(t *testing.T) {
+					t.Parallel()
+					var first *explore.Report
+					for _, w := range symmetryWorkerSet(t) {
+						red, err := explore.Check(sys, tc.tsk, explore.Options{
+							Workers:  w,
+							Symmetry: mode,
+						})
+						if err != nil {
+							t.Fatalf("workers=%d: %v", w, err)
+						}
+						if first == nil {
+							first = red
+						} else {
+							if red.States != first.States || red.Transitions != first.Transitions ||
+								red.Quiescent != first.Quiescent {
+								t.Fatalf("workers=%d: reduced counts %d/%d/%d differ from workers=%d run",
+									w, red.States, red.Transitions, red.Quiescent, symmetryWorkerSet(t)[0])
+							}
+							if !reflect.DeepEqual(red.Violations, first.Violations) {
+								t.Fatalf("workers=%d: reduced violations differ across worker counts", w)
+							}
+							continue
+						}
+						// Verdict equality with the unreduced run.
+						if red.Solved() != base.Solved() {
+							t.Fatalf("reduced Solved()=%v, unreduced %v", red.Solved(), base.Solved())
+						}
+						if !reflect.DeepEqual(violationKinds(red), violationKinds(base)) {
+							t.Fatalf("violation kinds differ: reduced %v, unreduced %v",
+								violationKinds(red), violationKinds(base))
+						}
+						// Orbit bounds: the quotient is never larger, and the
+						// concrete graph is covered by at most |G| translates
+						// of each representative.
+						order := red.SymmetryGroupOrder()
+						if red.States > base.States {
+							t.Fatalf("reduced states %d > unreduced %d", red.States, base.States)
+						}
+						if base.States > red.States*order {
+							t.Fatalf("unreduced states %d exceed reduced %d x group order %d",
+								base.States, red.States, order)
+						}
+						// Every witness is a concrete, replayable execution.
+						for _, v := range red.Violations {
+							switch v.Kind {
+							case explore.ViolationSafety:
+								res := replaySchedule(t, sys, tc.tsk, v.Witness)
+								if res.Violation == nil {
+									t.Fatalf("safety witness replays without violating %s", tc.tsk.Name())
+								}
+							case explore.ViolationWaitFree, explore.ViolationDACTerminationA,
+								explore.ViolationDACTerminationB:
+								if len(v.Cycle) == 0 {
+									t.Fatalf("liveness violation without cycle: %v", v)
+								}
+								sched := append([]explore.Step{}, v.Witness...)
+								for k := 0; k < 3; k++ {
+									sched = append(sched, v.Cycle...)
+								}
+								res := replaySchedule(t, sys, tc.tsk, sched)
+								if res.Completed {
+									t.Fatalf("liveness witness+3x cycle replayed to completion")
+								}
+							case explore.ViolationHaltUndecided:
+								replaySchedule(t, sys, tc.tsk, v.Witness)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSymmetryReductionRatio pins the headline win on the paper's
+// Algorithm 2 at n = 4 with one distinguished 1-input: three
+// exchangeable processes give a group of order 6, and the quotient
+// must be at least 4x smaller (the acceptance bar; the measured ratio
+// is near 6x since most orbits are free).
+func TestSymmetryReductionRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unreduced n=4 exploration is slow")
+	}
+	t.Parallel()
+	prot := programs.Algorithm2(4, 1)
+	sys, err := prot.System([]value.Value{1, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsk := task.DAC{N: 4, P: 0}
+	base, err := explore.Check(sys, tsk, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := explore.Check(sys, tsk, explore.Options{Symmetry: explore.SymmetryIDs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := red.SymmetryGroupOrder(); got != 6 {
+		t.Fatalf("group order %d, want 6 (S3 on the three 0-input processes)", got)
+	}
+	if base.Solved() != red.Solved() {
+		t.Fatalf("verdicts differ: unreduced %v, reduced %v", base.Solved(), red.Solved())
+	}
+	if base.States < 4*red.States {
+		t.Fatalf("reduction ratio %d/%d < 4x", base.States, red.States)
+	}
+}
+
+// counterSystem shares one fetch&add counter between two identical
+// processes; CounterState deliberately lacks spec.Symmetric.
+func counterSystem() *explore.System {
+	prog := machine.NewBuilder("count", 4).
+		Invoke(2, 0, value.MethodFetchAdd, machine.C(1), machine.Operand{}).
+		Decide(machine.R(2)).
+		MustBuild()
+	return &explore.System{
+		Programs: []*machine.Program{prog, prog},
+		Objects:  []spec.Spec{objects.NewCounter()},
+		Inputs:   []value.Value{0, 0},
+	}
+}
+
+// TestSymmetryRejectsAsymmetricObject mirrors the engine-error
+// observability contract: requesting symmetry on a system whose object
+// state lacks spec.Symmetric fails up front with ErrNotSymmetric, and
+// the failure still flushes counters and emits the explore.error
+// terminal event.
+func TestSymmetryRejectsAsymmetricObject(t *testing.T) {
+	t.Parallel()
+	sink := obs.NewSink()
+	var evBuf bytes.Buffer
+	em := obs.NewEmitter(&evBuf)
+	rep, err := explore.Check(counterSystem(), nil, explore.Options{
+		Symmetry: explore.SymmetryIDs,
+		Obs:      sink,
+		Events:   em,
+	})
+	if !errors.Is(err, explore.ErrNotSymmetric) {
+		t.Fatalf("got %v, want ErrNotSymmetric", err)
+	}
+	if rep == nil {
+		t.Fatal("rejection dropped the partial report")
+	}
+	snap := sink.Snapshot()
+	if snap.Counters["explore.runs"] != 1 || snap.Counters["explore.errors"] != 1 {
+		t.Fatalf("counters runs=%d errors=%d, want 1/1",
+			snap.Counters["explore.runs"], snap.Counters["explore.errors"])
+	}
+	lines := strings.Split(strings.TrimSpace(evBuf.String()), "\n")
+	var ev map[string]any
+	if jsonErr := json.Unmarshal([]byte(lines[len(lines)-1]), &ev); jsonErr != nil {
+		t.Fatalf("bad terminal event: %v", jsonErr)
+	}
+	if ev["event"] != "explore.error" {
+		t.Fatalf("terminal event %v, want explore.error", ev["event"])
+	}
+	if msg, _ := ev["error"].(string); !strings.Contains(msg, "spec.Symmetric") {
+		t.Fatalf("terminal event error %q does not name the asymmetric object", msg)
+	}
+	// The same system explores fine unreduced.
+	if _, err := explore.Check(counterSystem(), nil, explore.Options{}); err != nil {
+		t.Fatalf("unreduced exploration of the counter system failed: %v", err)
+	}
+}
+
+// TestSymmetryRejectsUnsupportedAnalyses: combinations that are
+// unsound over the quotient graph fail with ErrSymmetryUnsupported —
+// resilience-bounded liveness, valency under value permutation, and
+// adversary construction on a reduced report.
+func TestSymmetryRejectsUnsupportedAnalyses(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	sys, err := prot.System([]value.Value{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := explore.Check(sys, task.ResilientKSet{N: 3, K: 2, F: 1}, explore.Options{
+		Symmetry: explore.SymmetryIDs,
+	}); !errors.Is(err, explore.ErrSymmetryUnsupported) {
+		t.Fatalf("resilient task: got %v, want ErrSymmetryUnsupported", err)
+	}
+	if _, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{
+		Symmetry: explore.SymmetryValues,
+		Valency:  true,
+	}); !errors.Is(err, explore.ErrSymmetryUnsupported) {
+		t.Fatalf("valency+values: got %v, want ErrSymmetryUnsupported", err)
+	}
+	// Valency composes with ids-only symmetry, but the adversary needs
+	// the concrete graph.
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{
+		Symmetry: explore.SymmetryIDs,
+		Valency:  true,
+	})
+	if err != nil {
+		t.Fatalf("valency+ids rejected: %v", err)
+	}
+	if _, err := rep.Adversary(); !errors.Is(err, explore.ErrSymmetryUnsupported) {
+		t.Fatalf("adversary on reduced graph: got %v, want ErrSymmetryUnsupported", err)
+	}
+}
+
+// TestSymmetryObservability: a reduced run reports the symmetry
+// counters and stamps the terminal event with the mode and group order.
+func TestSymmetryObservability(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	sys, err := prot.System([]value.Value{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewSink()
+	var evBuf bytes.Buffer
+	em := obs.NewEmitter(&evBuf)
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{
+		Symmetry: explore.SymmetryIDs,
+		Obs:      sink,
+		Events:   em,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved() {
+		t.Fatalf("unexpected violation: %v", rep.Violations[0])
+	}
+	snap := sink.Snapshot()
+	if snap.Counters["explore.symmetry_hits"] == 0 {
+		t.Error("explore.symmetry_hits stayed 0 on a reduced run")
+	}
+	if snap.Gauges["explore.orbit_size_max"] != 2 {
+		t.Errorf("explore.orbit_size_max = %d, want 2 (group order 2)",
+			snap.Gauges["explore.orbit_size_max"])
+	}
+	last := strings.TrimSpace(evBuf.String())
+	last = last[strings.LastIndexByte(last, '\n')+1:]
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(last), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["event"] != "explore.done" || ev["symmetry"] != "ids" {
+		t.Fatalf("terminal event %v lacks symmetry fields", ev)
+	}
+	if ev["group_order"] != float64(2) {
+		t.Fatalf("group_order = %v, want 2", ev["group_order"])
+	}
+}
+
+// TestParseSymmetry pins the CLI surface.
+func TestParseSymmetry(t *testing.T) {
+	t.Parallel()
+	for in, want := range map[string]explore.Symmetry{
+		"":                   explore.SymmetryOff,
+		"off":                explore.SymmetryOff,
+		"ids":                explore.SymmetryIDs,
+		"process-ids":        explore.SymmetryIDs,
+		"values":             explore.SymmetryValues,
+		"process-and-values": explore.SymmetryValues,
+	} {
+		got, err := explore.ParseSymmetry(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSymmetry(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("Symmetry(%v).String() empty", got)
+		}
+	}
+	if _, err := explore.ParseSymmetry("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}

@@ -152,6 +152,19 @@ func (m Method) TakesLabel() bool {
 	}
 }
 
+// LabelIsPort reports whether the label of operations of this kind
+// names a port — a 1-based slot tied to a process id, which must be
+// renamed when process ids are permuted under symmetry reduction — as
+// opposed to a level (ProposeK's k), which is id-independent.
+func (m Method) LabelIsPort() bool {
+	switch m {
+	case MethodProposeAt, MethodDecide, MethodProposeP, MethodDecideP:
+		return true
+	default:
+		return false
+	}
+}
+
 // Op is a single operation applied to a shared object.
 type Op struct {
 	// Method is the operation kind.
