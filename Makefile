@@ -30,10 +30,18 @@ test:
 # (reduced-vs-unreduced verdict equality + witness replay) under the
 # race detector at exactly Workers=1 and Workers=4; the unpinned
 # ./internal/explore run above already covers the default {1,2,8} set.
+# The final line re-runs the durable-runs suite — checkpoint
+# kill-resume byte-equality, the jobs store/pool, and the dacd daemon's
+# kill -9 e2e — under the race detector with caching disabled, since
+# the kill-resume invariant (resumed report + event stream identical to
+# an uninterrupted run) is exactly the kind of cross-goroutine
+# determinism claim -race exists to audit.
 race:
 	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs
 	EXPLORE_SYMMETRY_WORKERS=1 $(GO) test -race -run 'TestSymmetry' ./internal/explore
 	EXPLORE_SYMMETRY_WORKERS=4 $(GO) test -race -run 'TestSymmetry' ./internal/explore
+	$(GO) test -race -count=1 -run 'TestKillResume|TestResume|TestContextCancel' ./internal/explore
+	$(GO) test -race -count=1 ./internal/checkpoint ./internal/jobs ./cmd/dacd
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -76,7 +84,10 @@ bench-json:
 	rm -f .bench_explore_w1.json .bench_explore_w4.json .bench_sym_n4_ids.json \
 		.bench_sym_n4_values.json .bench_sym_n5_off.json .bench_sym_n5_ids.json .bench_sym_allocs.txt
 	$(GO) run ./cmd/experiments -quick -metrics BENCH_experiments.json > /dev/null
-	@echo "wrote BENCH_explore.json BENCH_experiments.json"
+	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=7/checkpoint' -benchtime 2x . > .bench_checkpoint.txt
+	jq -n --rawfile bench .bench_checkpoint.txt -f bench_checkpoint.jq > BENCH_checkpoint.json
+	rm -f .bench_checkpoint.txt
+	@echo "wrote BENCH_explore.json BENCH_experiments.json BENCH_checkpoint.json"
 
 experiments:
 	$(GO) run ./cmd/experiments

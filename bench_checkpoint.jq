@@ -1,0 +1,51 @@
+# Builds BENCH_checkpoint.json (see Makefile bench-json). Input
+# arrives as --rawfile bench: the checkpoint-dimension rows of
+# BenchmarkModelCheckDAC (alg2 n=7 at -workers 1, snapshots off /
+# every level / every 4th level, all on the identical instance with
+# identical reports).
+#
+# The measurement is durable-run overhead: each snapshot rewrites the
+# whole container atomically (temp + fsync + rename), so the cost per
+# snapshot is the encoded-graph write — the encoder itself only pays
+# for the delta since the previous barrier (the payload sections are
+# append-only caches). The primary figure is the in-run ckpt_frac
+# metric: nanoseconds spent inside writeCheckpoint over the row's wall
+# time, accumulated by the explorer's own explore.checkpoint_ns
+# counter. A cross-row ns/op differential against checkpoint=off is
+# reported too, but only as raw evidence — on a shared host the
+# run-to-run ns/op noise (±20% observed) exceeds the effect being
+# measured, while the in-run fraction compares a row against itself.
+# The evidence target is ckpt_frac < 0.05 at the 4-level cadence:
+# the exploration work between snapshots must dominate the snapshot
+# writes. every1 is reported alongside as the worst-case cadence, not
+# as a target. Honest framing: overhead is instance-relative — on tiny
+# graphs the fixed write+fsync latency dominates, which is why the
+# rows use the n=7 instance (~280k configurations) where checkpointing
+# is actually useful.
+
+# Row names may carry go test's -GOMAXPROCS suffix on multi-core hosts.
+def row(name):
+  $bench | split("\n") | map(select(test("/checkpoint=" + name + "(-\\d+)?\\s")))[0];
+def nsop(name):
+  row(name) | capture("\\s(?<ns>[0-9.]+) ns/op") | (.ns | tonumber);
+def frac(name):
+  row(name) | capture("\\s(?<f>[0-9.eE+-]+) ckpt_frac") | (.f | tonumber);
+def encfrac(name):
+  row(name) | capture("\\s(?<f>[0-9.eE+-]+) ckpt_enc_frac") | (.f | tonumber);
+
+nsop("off") as $off | nsop("1") as $e1 | nsop("4") as $e4 |
+frac("1") as $f1 | frac("4") as $f4 |
+{
+  ckpt_frac: { every1: $f1, every4: $f4 },
+  # The encode component of the stall (delta-encoding the snapshot at
+  # the barrier); the remainder is drain waits for in-flight commits,
+  # ~0 on a quiet disk.
+  ckpt_enc_frac: { every1: encfrac("1"), every4: encfrac("4") },
+  target: "ckpt_frac every4 < 0.05",
+  target_met: ($f4 < 0.05),
+  ns_per_op_raw: {
+    off: $off, every1: $e1, every4: $e4,
+    note: "cross-run differential; host noise can exceed the effect"
+  },
+  raw_rows: ($bench | split("\n") | map(select(contains("/checkpoint="))))
+}

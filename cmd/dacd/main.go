@@ -1,0 +1,112 @@
+// Command dacd is the durable-runs daemon: it keeps a disk-backed job
+// store (internal/jobs), runs submitted explorations on a worker pool,
+// checkpoints them at BFS level boundaries (internal/checkpoint), and
+// serves an HTTP API with live event streaming.
+//
+// Usage:
+//
+//	dacd -addr 127.0.0.1:8099 -data ./dacd-data [-job-workers N]
+//
+// API (see EXPERIMENTS.md "Durable runs" for the full catalog):
+//
+//	GET  /healthz            liveness probe
+//	POST /jobs               submit {"kind":"explore","spec":{...}}
+//	GET  /jobs               list all jobs
+//	GET  /jobs/{id}          one job's state
+//	POST /jobs/{id}/cancel   cancel (pending or running)
+//	GET  /jobs/{id}/result   result document of a done job
+//	GET  /jobs/{id}/events   live JSONL event stream over SSE
+//
+// Durability: every job transition is journaled; every exploration
+// checkpoints into the job's directory. SIGINT/SIGTERM drains
+// gracefully — in-flight jobs write a final checkpoint, flush their
+// event streams, and return to the queue. A kill -9 loses nothing the
+// last checkpoint didn't cover: on restart, orphaned jobs are requeued
+// and resume from their checkpoints with byte-identical reports and
+// event streams.
+//
+// Exit status: 0 clean shutdown, 2 startup or shutdown error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"setagree/internal/jobs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dacd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8099", "listen address (port 0 picks a free port)")
+	dataDir := fs.String("data", "dacd-data", "durable state directory (journal, checkpoints, events, results)")
+	workers := fs.Int("job-workers", 2, "concurrent job runners")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget (final checkpoints + flushes)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	store, err := jobs.Open(*dataDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "dacd: %v\n", err)
+		return 2
+	}
+	pool := jobs.NewPool(store, *workers, map[string]jobs.Runner{
+		"explore": runExploreJob,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "dacd: %v\n", err)
+		store.Close()
+		return 2
+	}
+	srv := &http.Server{Handler: newServer(store, pool)}
+	fmt.Fprintf(stdout, "dacd: listening on http://%s (data in %s)\n", ln.Addr(), *dataDir)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	code := 0
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stdout, "dacd: received %v, draining\n", s)
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "dacd: %v\n", err)
+			code = 2
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.Shutdown(ctx)
+	// Drain the pool before closing the store: in-flight runs
+	// checkpoint, flush their event streams, and requeue as pending.
+	if err := pool.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "dacd: %v\n", err)
+		code = 2
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintf(stderr, "dacd: %v\n", err)
+		code = 2
+	}
+	if code == 0 {
+		fmt.Fprintln(stdout, "dacd: clean shutdown")
+	}
+	return code
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+
+	"setagree/cmd/internal/protobuild"
+	"setagree/internal/explore"
+	"setagree/internal/jobs"
+	"setagree/internal/obs"
+)
+
+// exploreSpec is the JSON spec of an "explore" job: a protobuild
+// instance description plus the model checker's knobs. The daemon
+// checkpoints every run into the job's directory, so a job interrupted
+// by cancel-free shutdown (drain or crash) resumes from its last
+// checkpoint with a byte-identical report and event stream.
+type exploreSpec struct {
+	protobuild.Config
+	// MaxStates caps the exploration (0 = explore.Options default).
+	MaxStates int `json:"max_states,omitempty"`
+	// Workers sets the BFS worker count (0 = GOMAXPROCS). Reports are
+	// identical at any setting, so resumes may use a different value.
+	Workers int `json:"workers,omitempty"`
+	// Symmetry is the reduction mode: "" or "off", "ids", "values".
+	Symmetry string `json:"symmetry,omitempty"`
+	// Valency asks for valence labels and critical configurations.
+	Valency bool `json:"valency,omitempty"`
+	// CheckpointEvery is the snapshot cadence in BFS levels (0 = every
+	// level).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// HeartbeatEvery is the explore.heartbeat cadence in interned
+	// configurations (0 = explore.Options default).
+	HeartbeatEvery int `json:"heartbeat_every,omitempty"`
+	// PaceMs throttles the search by sleeping this many milliseconds at
+	// each checkpointed level — a demo/testing knob that makes a small
+	// instance long-lived enough to watch over SSE (or to kill and
+	// resume).
+	PaceMs int `json:"pace_ms,omitempty"`
+}
+
+// exploreResult is the result document of a finished explore job. The
+// verdict fields (verdict, states, transitions, quiescent, violations)
+// are deterministic: a job that was killed and resumed produces the
+// same values as an uninterrupted one.
+type exploreResult struct {
+	Verdict     string   `json:"verdict"` // solved | refuted | inconclusive
+	States      int      `json:"states"`
+	Transitions int      `json:"transitions"`
+	Quiescent   int      `json:"quiescent"`
+	Violations  []string `json:"violations,omitempty"`
+	Resumed     bool     `json:"resumed,omitempty"`
+	Attempt     int      `json:"attempt"`
+	ElapsedNs   int64    `json:"elapsed_ns"`
+}
+
+// runExploreJob is the jobs.Runner for kind "explore".
+func runExploreJob(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte, error) {
+	var sp exploreSpec
+	if err := json.Unmarshal(job.Spec, &sp); err != nil {
+		return nil, fmt.Errorf("bad spec: %w", err)
+	}
+	symMode := explore.SymmetryOff
+	if sp.Symmetry != "" {
+		var err error
+		if symMode, err = explore.ParseSymmetry(sp.Symmetry); err != nil {
+			return nil, err
+		}
+	}
+	prot, tsk, inputs, err := sp.Build()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := prot.System(inputs)
+	if err != nil {
+		return nil, err
+	}
+
+	ckptPath := store.CheckpointPath(job.ID)
+	eventsPath := store.EventsPath(job.ID)
+	resume := false
+	if info, err := explore.PeekCheckpoint(ckptPath); err == nil {
+		// Trim events emitted after the snapshot (and any torn line the
+		// kill left), so the resumed stream continues byte-identically.
+		if err := obs.TruncateEventsFile(eventsPath, info.EventSeq); err != nil {
+			return nil, err
+		}
+		resume = true
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		// Unreadable checkpoint (e.g. damaged disk): start the job over
+		// rather than failing it — correctness never depends on a
+		// snapshot, only wall time does.
+		os.Remove(ckptPath)
+	}
+	openFlags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		openFlags |= os.O_APPEND
+	} else {
+		openFlags |= os.O_TRUNC // drop any stale pre-checkpoint stream
+	}
+	ef, err := os.OpenFile(eventsPath, openFlags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	emitter := obs.NewEmitter(ef)
+
+	opts := explore.Options{
+		Valency:        sp.Valency,
+		MaxStates:      sp.MaxStates,
+		Workers:        sp.Workers,
+		HeartbeatEvery: sp.HeartbeatEvery,
+		Symmetry:       symMode,
+		Obs:            obs.NewSink(),
+		Events:         emitter,
+		Ctx:            ctx,
+		Checkpoint: explore.CheckpointOptions{
+			Path:        ckptPath,
+			EveryLevels: sp.CheckpointEvery,
+		},
+	}
+	if sp.PaceMs > 0 {
+		pace := time.Duration(sp.PaceMs) * time.Millisecond
+		opts.Checkpoint.After = func(int) error {
+			// Sleep but stay cancellable; the barrier's own context poll
+			// turns the cancellation into a final checkpoint + clean exit.
+			select {
+			case <-time.After(pace):
+			case <-ctx.Done():
+			}
+			return nil
+		}
+	}
+
+	start := time.Now()
+	var rep *explore.Report
+	if resume {
+		rep, err = explore.Resume(ckptPath, sys, tsk, opts)
+	} else {
+		rep, err = explore.Check(sys, tsk, opts)
+	}
+	verdict := ""
+	switch {
+	case errors.Is(err, explore.ErrStateLimit):
+		verdict = "inconclusive"
+	case err != nil:
+		emitter.Sync()
+		return nil, err
+	case rep.Solved():
+		verdict = "solved"
+	default:
+		verdict = "refuted"
+	}
+	if err := emitter.Sync(); err != nil {
+		return nil, fmt.Errorf("event stream: %w", err)
+	}
+	res := exploreResult{
+		Verdict:     verdict,
+		States:      rep.States,
+		Transitions: rep.Transitions,
+		Quiescent:   rep.Quiescent,
+		Resumed:     resume,
+		Attempt:     job.Attempt,
+		ElapsedNs:   int64(time.Since(start)),
+	}
+	for _, v := range rep.Violations {
+		res.Violations = append(res.Violations, v.Error())
+	}
+	return json.MarshalIndent(&res, "", "  ")
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"setagree/internal/jobs"
+)
+
+// server is dacd's HTTP surface. Every response body is JSON except
+// the SSE event stream.
+type server struct {
+	store *jobs.Store
+	pool  *jobs.Pool
+	mux   *http.ServeMux
+}
+
+func newServer(store *jobs.Store, pool *jobs.Pool) *server {
+	s := &server{store: store, pool: pool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("POST /jobs", s.submit)
+	s.mux.HandleFunc("GET /jobs", s.list)
+	s.mux.HandleFunc("GET /jobs/{id}", s.get)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.events)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": len(s.store.List())})
+}
+
+// submitRequest is the POST /jobs body: a runner kind and its spec.
+type submitRequest struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Kind == "" {
+		writeError(w, http.StatusBadRequest, errors.New("kind is required"))
+		return
+	}
+	job, err := s.pool.Submit(req.Kind, req.Spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	job, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.pool.Cancel(r.PathValue("id"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, jobs.ErrUnknownJob) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	job, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if job.State != jobs.Done {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s (error %q); no result", job.ID, job.State, job.Error))
+		return
+	}
+	res, err := s.store.ReadResult(job.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(res)
+}
+
+// events streams the job's JSONL event file over Server-Sent Events:
+// each complete line becomes one `data:` frame, tailed live while the
+// job runs. The stream ends with an `event: done` frame carrying the
+// job's terminal state once the job finishes and the file is drained
+// (a resumed job's stream picks up exactly where the checkpoint left
+// it — trimmed overshoot lines are re-sent by the resumed run).
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.store.Get(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	path := s.store.EventsPath(id)
+	var off int64
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		n, sent := s.sendFrom(w, path, off)
+		off = n
+		if sent {
+			flusher.Flush()
+		}
+		job, err := s.store.Get(id)
+		if err == nil && job.State.Terminal() && !sent {
+			fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", job.State)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// sendFrom writes every complete JSONL line at or beyond byte offset
+// off as an SSE data frame and returns the new offset and whether
+// anything was sent. Partial trailing lines stay unsent until their
+// newline lands.
+func (s *server) sendFrom(w http.ResponseWriter, path string, off int64) (int64, bool) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return off, false
+	}
+	// A resumed job truncates the file; restart the tail from zero so
+	// the client sees the stream the resumed run is rebuilding.
+	if int64(len(buf)) < off {
+		off = 0
+	}
+	sent := false
+	for {
+		rest := buf[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break
+		}
+		fmt.Fprintf(w, "data: %s\n\n", rest[:nl])
+		off += int64(nl) + 1
+		sent = true
+	}
+	return off, sent
+}

@@ -59,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := obsF.Checkpointing().Reject("dacsim"); err != nil {
+		fmt.Fprintf(stderr, "dacsim: %v\n", err)
+		return 2
+	}
 	if *n < 2 || *p < 1 || *p > *n {
 		fmt.Fprintln(stderr, "dacsim: need n >= 2 and 1 <= p <= n")
 		return 2

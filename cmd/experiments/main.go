@@ -9,6 +9,7 @@
 //	experiments [-quick] [-v] [-workers N] [-symmetry off|ids|values]
 //	            [-metrics out.json] [-events out.jsonl]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-checkpoint run.ckpt [-checkpoint-every L]]
 //
 // -quick trims the heavier rows (depth-2 sweeps, n >= 5 state spaces).
 // -workers sets the goroutine count for the falsification sweeps
@@ -22,15 +23,32 @@
 // sweep.* counters with throughput rates; -events streams one
 // experiment.row event per finished row plus the engines' heartbeat
 // and summary events (see EXPERIMENTS.md "Reading run reports").
-// Exit status 0 iff every experiment matches the paper's claim.
+//
+// SIGINT/SIGTERM interrupt the suite cleanly: the in-flight engine
+// stops at its next barrier, the finished rows print as a partial
+// verdict table (the interrupted row shows INT), and the tool exits 4.
+// With -checkpoint <file> an interrupted model-check row writes a
+// final snapshot there — resume that single exploration with
+// explore -resume -checkpoint <file>. (Falsification sweeps are not
+// checkpointed: their synthesized candidates are tiny and have no
+// explore-CLI spelling.) -resume itself is rejected: each row is a
+// fresh exploration, so there is nothing suite-level to restore.
+//
+// Exit status: 0 iff every experiment matches the paper's claim, 1 if
+// any row FAILs, 2 on usage or internal error, 4 if interrupted
+// (partial table printed; matches cmd/explore's convention, alongside
+// its INCONCLUSIVE exit 3).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"setagree/cmd/internal/obsflags"
@@ -51,23 +69,34 @@ func main() {
 
 // row is one experiment outcome.
 type row struct {
-	id       string
-	claim    string
-	instance string
-	detail   string
-	ok       bool
-	elapsed  time.Duration
+	id          string
+	claim       string
+	instance    string
+	detail      string
+	ok          bool
+	interrupted bool
+	elapsed     time.Duration
 }
 
 type runner struct {
-	rows     []row
-	quick    bool
-	verbose  bool
-	workers  int
-	symmetry explore.Symmetry
-	out      io.Writer
-	sink     *obs.Sink
-	events   *obs.Emitter
+	rows      []row
+	quick     bool
+	verbose   bool
+	workers   int
+	symmetry  explore.Symmetry
+	out       io.Writer
+	sink      *obs.Sink
+	events    *obs.Emitter
+	ctx       context.Context
+	ckpt      string // -checkpoint: interrupt-snapshot path for the in-flight exploration
+	ckptEvery int
+}
+
+// stopped reports whether the suite was interrupted; row functions
+// check it before starting (and between) experiments so cancellation
+// stops the suite at the next row boundary.
+func (r *runner) stopped() bool {
+	return r.ctx.Err() != nil
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -86,20 +115,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "experiments: %v\n", err)
 		return 2
 	}
+	ck := obsF.Checkpointing()
+	if ck.Resume {
+		fmt.Fprintln(stderr, "experiments: -resume is not supported: each row is a fresh exploration; resume an interrupted row with explore -resume -checkpoint <file>")
+		return 2
+	}
+	if err := ck.Validate(); err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 2
+	}
 	sess, err := obsflags.Start("experiments", obsF, args)
 	if err != nil {
 		fmt.Fprintf(stderr, "experiments: %v\n", err)
 		return 2
 	}
 	defer sess.CloseTo(stderr)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	r := &runner{
-		quick:    *quick,
-		verbose:  *verbose,
-		workers:  *workers,
-		symmetry: symMode,
-		out:      stdout,
-		sink:     sess.Sink,
-		events:   sess.Events,
+		quick:     *quick,
+		verbose:   *verbose,
+		workers:   *workers,
+		symmetry:  symMode,
+		out:       stdout,
+		sink:      sess.Sink,
+		events:    sess.Events,
+		ctx:       ctx,
+		ckpt:      ck.Path,
+		ckptEvery: ck.EveryLevels,
 	}
 
 	r.e2Algorithm2()
@@ -117,7 +160,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var total time.Duration
 	for _, row := range r.rows {
 		verdict := "MATCH"
-		if !row.ok {
+		switch {
+		case row.interrupted:
+			verdict = "INT"
+		case !row.ok:
 			verdict = "FAIL"
 			allOK = false
 		}
@@ -125,6 +171,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		total += row.elapsed
 	}
 	fmt.Fprintf(stdout, "\n%d experiments in %s\n", len(r.rows), total.Round(time.Millisecond))
+	if r.stopped() {
+		fmt.Fprintln(stderr, "experiments: interrupted — the table above is partial")
+		if r.ckpt != "" {
+			// Sweeps don't checkpoint (their synthesized candidates are
+			// tiny and not expressible to the explore CLI), so the file
+			// only exists when the signal landed in a model-check row.
+			if _, statErr := os.Stat(r.ckpt); statErr == nil {
+				fmt.Fprintf(stderr, "experiments: the interrupted exploration's snapshot is in %s (resume it with explore -resume -checkpoint %s)\n", r.ckpt, r.ckpt)
+			} else {
+				fmt.Fprintf(stderr, "experiments: no snapshot in %s — the signal landed outside a model-check row\n", r.ckpt)
+			}
+		}
+		if !allOK {
+			fmt.Fprintln(stderr, "experiments: some completed rows FAILED")
+		}
+		return 4
+	}
 	if !allOK {
 		fmt.Fprintln(stderr, "experiments: some rows FAILED")
 		return 1
@@ -134,9 +197,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func (r *runner) add(id, claim, instance string, ok bool, detail string, elapsed time.Duration) {
-	r.rows = append(r.rows, row{id: id, claim: claim, instance: instance, ok: ok, detail: detail, elapsed: elapsed})
+	// A not-ok row recorded after cancellation is the in-flight
+	// experiment the signal stopped, not a refutation of the claim:
+	// row functions return at the next boundary once stopped, so no
+	// genuinely-failed row can land here after the interrupt.
+	interrupted := !ok && r.stopped()
+	r.rows = append(r.rows, row{id: id, claim: claim, instance: instance, ok: ok, interrupted: interrupted, detail: detail, elapsed: elapsed})
 	r.sink.Counter("experiments.rows").Inc()
-	if !ok {
+	if !ok && !interrupted {
 		r.sink.Counter("experiments.failed").Inc()
 	}
 	r.events.Emit("experiment.row", obs.Fields{
@@ -166,6 +234,19 @@ func (r *runner) checkSolved(prot programs.Protocol, tsk task.Task, inputs []val
 	opts.Obs = r.sink
 	opts.Events = r.events
 	opts.Symmetry = r.symmetry
+	opts.Ctx = r.ctx
+	if r.ckpt != "" {
+		// The suite's -checkpoint is an interrupt-snapshot path, not a
+		// resume point: rows share the file, so by default nothing is
+		// written until a signal lands and the in-flight exploration
+		// snapshots its final state for explore -resume. An explicit
+		// -checkpoint-every turns periodic snapshots back on.
+		every := r.ckptEvery
+		if every == 0 {
+			every = 1 << 30
+		}
+		opts.Checkpoint = explore.CheckpointOptions{Path: r.ckpt, EveryLevels: every}
+	}
 	rep, err := explore.Check(sys, tsk, opts)
 	suffix := ""
 	if opts.Symmetry != explore.SymmetryOff {
@@ -212,6 +293,9 @@ func (r *runner) e2Algorithm2() {
 		maxN = 4
 	}
 	for n := 2; n <= maxN; n++ {
+		if r.stopped() {
+			return
+		}
 		start := time.Now()
 		ok, detail, err := r.checkSolved(programs.Algorithm2(n, 1), task.DAC{N: n, P: 0}, canonical(n), explore.Options{})
 		if err != nil {
@@ -259,7 +343,7 @@ func binaryVectors(n int) [][]value.Value {
 // sweepOptions wires the -workers flag and, with -v, live progress into
 // a falsification sweep.
 func (r *runner) sweepOptions(id string) enumerate.SweepOptions {
-	opts := enumerate.SweepOptions{Workers: r.workers, Symmetry: r.symmetry, Obs: r.sink, Events: r.events}
+	opts := enumerate.SweepOptions{Workers: r.workers, Symmetry: r.symmetry, Obs: r.sink, Events: r.events, Ctx: r.ctx}
 	if r.verbose {
 		opts.OnProgress = func(p enumerate.Progress) {
 			if p.Candidates%1000 == 0 {
@@ -291,6 +375,9 @@ func (r *runner) e3Falsification() {
 		depths = append(depths, 2)
 	}
 	for _, d := range depths {
+		if r.stopped() {
+			return
+		}
 		start := time.Now()
 		rep, err := enumerate.FalsifyDAC(theorem42Family(d), 3, vectors, r.sweepOptions("E3"))
 		ok, detail := sweepVerdict(rep, err)
@@ -304,6 +391,9 @@ func (r *runner) e3Falsification() {
 // base solves 3-consensus.
 func (r *runner) e5PACMLevel() {
 	for _, m := range []int{2, 3} {
+		if r.stopped() {
+			return
+		}
 		start := time.Now()
 		ok, detail, err := r.checkSolved(programs.ConsensusFromPACM(m+1, m, m),
 			task.Consensus{N: m}, distinct(m), explore.Options{})
@@ -314,6 +404,9 @@ func (r *runner) e5PACMLevel() {
 		r.add("E5", "Thm 5.3: (n,m)-PAC solves m-consensus", fmt.Sprintf("m=%d", m), ok, detail, time.Since(start))
 	}
 
+	if r.stopped() {
+		return
+	}
 	start := time.Now()
 	rep, err := enumerate.FalsifySymmetric(theorem42Family(1), task.Consensus{N: 3},
 		binaryVectors(3), r.sweepOptions("E5"))
@@ -346,6 +439,9 @@ func (r *runner) e7SamePower() {
 			}{"O_2 partition", programs.PartitionObjectO(k, n)})
 		}
 		for _, v := range variants {
+			if r.stopped() {
+				return
+			}
 			start := time.Now()
 			ok, detail, err := r.checkSolved(v.prot, tsk, distinct(procs), explore.Options{})
 			if err != nil {
@@ -363,6 +459,9 @@ func (r *runner) e7SamePower() {
 // {2-consensus, register} (Theorem 7.1's base without the PAC object)
 // solves 3-DAC.
 func (r *runner) e8Theorem71() {
+	if r.stopped() {
+		return
+	}
 	start := time.Now()
 	ok, detail, err := r.checkSolved(programs.Algorithm2ViaPACM(3, 2, 1),
 		task.DAC{N: 3, P: 0}, canonical(3), explore.Options{})
@@ -385,6 +484,9 @@ func (r *runner) e8Theorem71() {
 			enumerate.ActDecideZero, enumerate.ActDecideOne, enumerate.ActRetry,
 		},
 	}
+	if r.stopped() {
+		return
+	}
 	start = time.Now()
 	rep, sweepErr := enumerate.FalsifyDAC(fam, 3, binaryVectors(3), r.sweepOptions("E8"))
 	ok, detail = sweepVerdict(rep, sweepErr)
@@ -393,6 +495,9 @@ func (r *runner) e8Theorem71() {
 
 // e10Hierarchy: partition lower bounds and classic level-2 protocols.
 func (r *runner) e10Hierarchy() {
+	if r.stopped() {
+		return
+	}
 	start := time.Now()
 	ok, detail, err := r.checkSolved(programs.Partition(2, 2),
 		task.KSetAgreement{N: 4, K: 2}, distinct(4), explore.Options{})
@@ -402,6 +507,9 @@ func (r *runner) e10Hierarchy() {
 	}
 	r.add("E10", "CR formula (+): k groups give (km,k)-SA", "k=2, m=2", ok, detail, time.Since(start))
 
+	if r.stopped() {
+		return
+	}
 	start = time.Now()
 	ok, detail, err = r.checkSolved(programs.ConsensusFromQueue(),
 		task.Consensus{N: 2}, []value.Value{3, 4}, explore.Options{})
@@ -414,6 +522,9 @@ func (r *runner) e10Hierarchy() {
 
 // e11Valency: the proof-technique artifacts.
 func (r *runner) e11Valency() {
+	if r.stopped() {
+		return
+	}
 	start := time.Now()
 	prot := programs.Algorithm2(3, 1)
 	sys, err := prot.System(canonical(3))
@@ -445,6 +556,9 @@ func (r *runner) e11Valency() {
 // e13Chaudhuri: the resilience boundary.
 func (r *runner) e13Chaudhuri() {
 	const n, k = 3, 2
+	if r.stopped() {
+		return
+	}
 	start := time.Now()
 	ok, detail, err := r.checkSolved(programs.ChaudhuriKSet(n, k),
 		task.ResilientKSet{N: n, K: k, F: k - 1}, distinct(n), explore.Options{})
@@ -454,6 +568,9 @@ func (r *runner) e13Chaudhuri() {
 	}
 	r.add("E13", "Chaudhuri (+): f=k-1 resilient k-SA from registers", "n=3, k=2, f=1", ok, detail, time.Since(start))
 
+	if r.stopped() {
+		return
+	}
 	start = time.Now()
 	solved, detail2, err := r.checkSolved(programs.ChaudhuriKSet(n, k),
 		task.ResilientKSet{N: n, K: k, F: k}, distinct(n), explore.Options{})

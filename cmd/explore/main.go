@@ -9,6 +9,7 @@
 // Usage:
 //
 //	explore -protocol alg2 -n 3 -p 1 [-inputs 1,0,0] [-valency] [-witness] [-workers N]
+//	explore -protocol alg2 -n 4 -checkpoint run.ckpt [-checkpoint-every L] [-resume]
 //	explore -protocol consensus-pacm -n 3 -m 2
 //	explore -protocol partition -k 2 -m 2
 //	explore -protocol naive-2sa -procs 2
@@ -23,7 +24,22 @@
 //
 // Exit status: 0 solved, 1 refuted, 2 usage or internal error, 3
 // inconclusive (the -max-states cap was hit; the partial exploration
-// counts, elapsed wall time, and states/sec are printed).
+// counts, elapsed wall time, and states/sec are printed), 4
+// interrupted (SIGINT/SIGTERM landed mid-search; the same partial
+// counts are printed, and with -checkpoint a final snapshot is
+// written first so the run can continue with -resume).
+//
+// Durable runs: -checkpoint <file> snapshots the search at BFS level
+// boundaries (cadence -checkpoint-every, default every level) with an
+// atomic temp+fsync+rename write, and -resume restores it — the
+// resumed run's report, witnesses, valency labels, and DOT output are
+// byte-identical to an uninterrupted run, at any -workers setting.
+// Snapshots embed a fingerprint of the system, task, inputs, and
+// analysis options; a -resume against a different instance is
+// rejected. The -events stream of a resumed CLI run starts fresh
+// (run.start, then events from the restored level on); the
+// byte-continuous event stream across kills is the dacd daemon's job.
+// See EXPERIMENTS.md "Durable runs" for the container format.
 //
 // Exploration runs a level-synchronized parallel BFS; -workers sets
 // the goroutine count (default GOMAXPROCS) and every report, witness
@@ -48,24 +64,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"setagree/cmd/internal/obsflags"
-	"setagree/cmd/internal/specname"
-	"setagree/internal/core"
+	"setagree/cmd/internal/protobuild"
 	"setagree/internal/explore"
-	"setagree/internal/machine"
-	"setagree/internal/programs"
-	"setagree/internal/spec"
-	"setagree/internal/task"
-	"setagree/internal/value"
 )
 
 func main() {
@@ -73,13 +84,7 @@ func main() {
 }
 
 type config struct {
-	protocol  string
-	asm       string
-	objects   string
-	taskName  string
-	inputsRaw string
-	n, m, k   int
-	p, procs  int
+	pb        protobuild.Config
 	valency   bool
 	adversary bool
 	witness   bool
@@ -94,16 +99,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var c config
-	fs.StringVar(&c.protocol, "protocol", "", "named protocol (see doc)")
-	fs.StringVar(&c.asm, "asm", "", "assembly file: one symmetric program for all processes")
-	fs.StringVar(&c.objects, "objects", "", "object list for -asm, e.g. consensus:2,register,2sa")
-	fs.StringVar(&c.taskName, "task", "", "task for -asm: consensus | kset:K | dac")
-	fs.StringVar(&c.inputsRaw, "inputs", "", "comma-separated inputs (default: task-appropriate)")
-	fs.IntVar(&c.n, "n", 3, "n parameter (processes / PAC labels)")
-	fs.IntVar(&c.m, "m", 2, "m parameter (consensus width)")
-	fs.IntVar(&c.k, "k", 2, "k parameter (agreement bound)")
-	fs.IntVar(&c.p, "p", 1, "distinguished process (1-based, DAC protocols)")
-	fs.IntVar(&c.procs, "procs", 0, "process count override")
+	fs.StringVar(&c.pb.Protocol, "protocol", "", "named protocol (see doc)")
+	fs.StringVar(&c.pb.Asm, "asm", "", "assembly file: one symmetric program for all processes")
+	fs.StringVar(&c.pb.Objects, "objects", "", "object list for -asm, e.g. consensus:2,register,2sa")
+	fs.StringVar(&c.pb.Task, "task", "", "task for -asm: consensus | kset:K | dac")
+	fs.StringVar(&c.pb.Inputs, "inputs", "", "comma-separated inputs (default: task-appropriate)")
+	fs.IntVar(&c.pb.N, "n", 3, "n parameter (processes / PAC labels)")
+	fs.IntVar(&c.pb.M, "m", 2, "m parameter (consensus width)")
+	fs.IntVar(&c.pb.K, "k", 2, "k parameter (agreement bound)")
+	fs.IntVar(&c.pb.P, "p", 1, "distinguished process (1-based, DAC protocols)")
+	fs.IntVar(&c.pb.Procs, "procs", 0, "process count override")
 	fs.BoolVar(&c.valency, "valency", false, "compute valence labels and critical configurations")
 	fs.BoolVar(&c.adversary, "adversary", false, "run the bivalence-preserving adversary (implies -valency)")
 	fs.StringVar(&c.dotFile, "dot", "", "write the configuration graph (Graphviz DOT) to this file")
@@ -121,8 +126,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "explore: %v\n", err)
 		return 2
 	}
+	ck := obsF.Checkpointing()
+	if err := ck.Validate(); err != nil {
+		fmt.Fprintf(stderr, "explore: %v\n", err)
+		return 2
+	}
 
-	prot, tsk, inputs, err := buildInstance(&c)
+	prot, tsk, inputs, err := c.pb.Build()
 	if err != nil {
 		fmt.Fprintf(stderr, "explore: %v\n", err)
 		return 2
@@ -144,16 +154,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "protocol: %s\n", prot.Name)
 	fmt.Fprintf(stdout, "task:     %s, inputs %v\n", tsk.Name(), inputs)
-	start := time.Now()
-	rep, err := explore.Check(sys, tsk, explore.Options{
+	// SIGINT/SIGTERM cancel the context; the explorer notices at the
+	// next level barrier, writes a final checkpoint (when -checkpoint
+	// is set), flushes its counters, and returns the partial report.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opts := explore.Options{
 		Valency:   c.valency,
 		MaxStates: c.maxStates,
 		Workers:   c.workers,
 		Symmetry:  symMode,
 		Obs:       sess.Sink,
 		Events:    sess.Events,
-	})
+		Ctx:       ctx,
+		Checkpoint: explore.CheckpointOptions{
+			Path:        ck.Path,
+			EveryLevels: ck.EveryLevels,
+		},
+	}
+	start := time.Now()
+	var rep *explore.Report
+	if ck.Resume {
+		rep, err = explore.Resume(ck.Path, sys, tsk, opts)
+	} else {
+		rep, err = explore.Check(sys, tsk, opts)
+	}
 	elapsed := time.Since(start)
+	if ctxErr := ctx.Err(); ctxErr != nil && err != nil && errors.Is(err, ctxErr) {
+		fmt.Fprintf(stdout, "explored: %d configurations, %d transitions (partial)\n",
+			rep.States, rep.Transitions)
+		fmt.Fprintf(stdout, "elapsed:  %s (%.0f states/sec)\n",
+			elapsed.Round(time.Microsecond), statesPerSec(rep.States, elapsed))
+		fmt.Fprintf(stdout, "verdict:  INTERRUPTED — %v\n", err)
+		if ck.Path != "" {
+			fmt.Fprintf(stdout, "checkpoint: final snapshot in %s — continue with -resume -checkpoint %s\n",
+				ck.Path, ck.Path)
+		}
+		return 4
+	}
 	if errors.Is(err, explore.ErrStateLimit) {
 		// The state-limit path prints the same timing diagnostics as a
 		// completed run, so state-limit hits are tunable from the output
@@ -280,164 +318,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	return 1
-}
-
-func buildInstance(c *config) (programs.Protocol, task.Task, []value.Value, error) {
-	if c.asm != "" {
-		return buildAsm(c)
-	}
-	var (
-		prot programs.Protocol
-		tsk  task.Task
-	)
-	switch c.protocol {
-	case "alg2":
-		prot, tsk = programs.Algorithm2(c.n, c.p), task.DAC{N: c.n, P: c.p - 1}
-	case "alg2-upset":
-		prot, tsk = programs.UpsettingAlgorithm2(c.n, c.p), task.DAC{N: c.n, P: c.p - 1}
-	case "consensus-pacm":
-		procs := orDefault(c.procs, c.m)
-		prot, tsk = programs.ConsensusFromPACM(c.n, c.m, procs), task.Consensus{N: procs}
-	case "consensus-direct":
-		procs := orDefault(c.procs, c.m)
-		prot, tsk = programs.ConsensusFromObject(c.m, procs), task.Consensus{N: procs}
-	case "partition":
-		prot, tsk = programs.Partition(c.k, c.m), task.KSetAgreement{N: c.k * c.m, K: c.k}
-	case "partition-on":
-		prot, tsk = programs.PartitionObjectO(c.k, c.n), task.KSetAgreement{N: c.k * c.n, K: c.k}
-	case "kset-sa":
-		procs := orDefault(c.procs, c.n)
-		prot, tsk = programs.KSetFromSA(c.n, c.k, procs), task.KSetAgreement{N: procs, K: c.k}
-	case "kset-oprime":
-		procs := orDefault(c.procs, c.k*c.n)
-		prot = programs.KSetFromOPrime(core.NewOPrime(c.n, nil), c.k, procs)
-		tsk = task.KSetAgreement{N: procs, K: c.k}
-	case "kset-oprime-base":
-		procs := orDefault(c.procs, c.k*c.n)
-		prot, tsk = programs.KSetFromOPrimeBase(c.n, c.k, procs), task.KSetAgreement{N: procs, K: c.k}
-	case "naive-2sa":
-		procs := orDefault(c.procs, 2)
-		prot, tsk = programs.NaiveTwoSAConsensus(procs), task.Consensus{N: procs}
-	case "oversub":
-		prot, tsk = programs.OverSubscribedConsensus(c.m), task.Consensus{N: c.m + 1}
-	case "dac-attempt":
-		prot, tsk = programs.DACFromConsensusAndTwoSA(c.n, c.p), task.DAC{N: c.n + 1, P: c.p - 1}
-	case "chaudhuri":
-		prot = programs.ChaudhuriKSet(c.n, c.k)
-		tsk = task.ResilientKSet{N: c.n, K: c.k, F: c.k - 1}
-	case "alg2-pacm":
-		prot, tsk = programs.Algorithm2ViaPACM(c.n, c.m, c.p), task.DAC{N: c.n, P: c.p - 1}
-	case "consensus-queue":
-		prot, tsk = programs.ConsensusFromQueue(), task.Consensus{N: 2}
-	case "consensus-tas":
-		prot, tsk = programs.ConsensusFromTAS(), task.Consensus{N: 2}
-	case "":
-		return programs.Protocol{}, nil, nil, fmt.Errorf("-protocol or -asm is required")
-	default:
-		return programs.Protocol{}, nil, nil, fmt.Errorf("unknown protocol %q", c.protocol)
-	}
-	inputs, err := parseInputs(c.inputsRaw, prot.Procs(), tsk)
-	if err != nil {
-		return programs.Protocol{}, nil, nil, err
-	}
-	return prot, tsk, inputs, nil
-}
-
-func buildAsm(c *config) (programs.Protocol, task.Task, []value.Value, error) {
-	if c.objects == "" || c.taskName == "" || c.procs == 0 {
-		return programs.Protocol{}, nil, nil, fmt.Errorf("-asm needs -objects, -task, and -procs")
-	}
-	src, err := os.ReadFile(c.asm)
-	if err != nil {
-		return programs.Protocol{}, nil, nil, err
-	}
-	prog, err := machine.Parse(c.asm, string(src), 16)
-	if err != nil {
-		return programs.Protocol{}, nil, nil, err
-	}
-	var objs []spec.Spec
-	for _, name := range strings.Split(c.objects, ",") {
-		sp, err := specname.Parse(strings.TrimSpace(name))
-		if err != nil {
-			return programs.Protocol{}, nil, nil, err
-		}
-		objs = append(objs, sp)
-	}
-	progs := make([]*machine.Program, c.procs)
-	for i := range progs {
-		progs[i] = prog
-	}
-	prot := programs.Protocol{Name: "asm:" + c.asm, Programs: progs, Objects: objs}
-
-	var tsk task.Task
-	switch {
-	case c.taskName == "consensus":
-		tsk = task.Consensus{N: c.procs}
-	case c.taskName == "dac":
-		tsk = task.DAC{N: c.procs, P: c.p - 1}
-	case strings.HasPrefix(c.taskName, "kset:"):
-		k, err := strconv.Atoi(strings.TrimPrefix(c.taskName, "kset:"))
-		if err != nil {
-			return programs.Protocol{}, nil, nil, fmt.Errorf("bad task %q", c.taskName)
-		}
-		tsk = task.KSetAgreement{N: c.procs, K: k}
-	default:
-		return programs.Protocol{}, nil, nil, fmt.Errorf("unknown task %q", c.taskName)
-	}
-	inputs, err := parseInputs(c.inputsRaw, c.procs, tsk)
-	if err != nil {
-		return programs.Protocol{}, nil, nil, err
-	}
-	return prot, tsk, inputs, nil
-}
-
-// parseInputs parses "-inputs", defaulting to the proofs' canonical
-// vectors: 1 for the distinguished/first process, 0 elsewhere for
-// binary tasks; distinct values for k-set agreement.
-func parseInputs(raw string, procs int, tsk task.Task) ([]value.Value, error) {
-	if raw != "" {
-		parts := strings.Split(raw, ",")
-		if len(parts) != procs {
-			return nil, fmt.Errorf("%d inputs for %d processes", len(parts), procs)
-		}
-		out := make([]value.Value, procs)
-		for i, part := range parts {
-			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad input %q", part)
-			}
-			out[i] = value.Value(v)
-		}
-		return out, nil
-	}
-	out := make([]value.Value, procs)
-	wantDistinct := false
-	if kt, ok := tsk.(task.KSetAgreement); ok && kt.K >= 2 {
-		wantDistinct = true
-	}
-	if rt, ok := tsk.(task.ResilientKSet); ok && rt.K >= 2 {
-		wantDistinct = true
-	}
-	if wantDistinct {
-		for i := range out {
-			out[i] = value.Value(10 + i)
-		}
-		return out, nil
-	}
-	d := 0
-	if dt, ok := tsk.(task.DAC); ok {
-		d = dt.P
-	}
-	out[d] = 1
-	return out, nil
-}
-
-// orDefault returns v if nonzero, else fallback.
-func orDefault(v, fallback int) int {
-	if v != 0 {
-		return v
-	}
-	return fallback
 }
 
 // statesPerSec computes exploration throughput, 0 on a degenerate

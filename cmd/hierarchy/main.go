@@ -40,6 +40,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := obsF.Checkpointing().Reject("hierarchy"); err != nil {
+		fmt.Fprintf(stderr, "hierarchy: %v\n", err)
+		return 2
+	}
 	if *levels < 1 || *n < 2 {
 		fmt.Fprintln(stderr, "hierarchy: -levels must be >= 1 and -n >= 2")
 		return 2

@@ -33,18 +33,77 @@ type Flags struct {
 	events     string
 	cpuprofile string
 	memprofile string
+
+	checkpoint      string
+	checkpointEvery int
+	resume          bool
 }
 
 // Register installs the -metrics, -events, -cpuprofile, and
-// -memprofile flags on fs and returns the value holder to Start from
-// after parsing.
+// -memprofile flags on fs — plus the durable-runs trio -checkpoint,
+// -checkpoint-every, and -resume, which every cmd tool accepts so the
+// flag surface is uniform (tools without durable state reject them
+// via Checkpointing.Reject) — and returns the value holder to Start
+// from after parsing.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.metrics, "metrics", "", "write the final run-report JSON to this file")
 	fs.StringVar(&f.events, "events", "", "stream structured JSONL events to this file")
 	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&f.memprofile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	fs.StringVar(&f.checkpoint, "checkpoint", "", "write exploration checkpoints to this file (SIGINT/SIGTERM still writes a final snapshot)")
+	fs.IntVar(&f.checkpointEvery, "checkpoint-every", 0, "checkpoint cadence in BFS levels (0 = tool default; needs -checkpoint)")
+	fs.BoolVar(&f.resume, "resume", false, "resume the exploration from the -checkpoint file")
 	return f
+}
+
+// Checkpointing is the durable-runs flag trio shared by every cmd
+// tool. cmd/explore supports all three (periodic snapshots, final
+// snapshot on SIGINT/SIGTERM, -resume); cmd/experiments supports
+// -checkpoint as an interrupt-snapshot path; the remaining tools call
+// Reject so the flags fail loudly instead of being silently ignored.
+type Checkpointing struct {
+	// Path is the -checkpoint file ("" = checkpointing off).
+	Path string
+	// EveryLevels is the -checkpoint-every cadence in BFS levels (0 =
+	// the tool's default).
+	EveryLevels int
+	// Resume asks to restore the exploration from Path.
+	Resume bool
+}
+
+// Checkpointing returns the parsed durable-runs flags.
+func (f *Flags) Checkpointing() Checkpointing {
+	return Checkpointing{Path: f.checkpoint, EveryLevels: f.checkpointEvery, Resume: f.resume}
+}
+
+// Enabled reports whether any durable-runs flag was set.
+func (c Checkpointing) Enabled() bool {
+	return c.Path != "" || c.EveryLevels != 0 || c.Resume
+}
+
+// Validate checks flag consistency for tools that support
+// checkpointing.
+func (c Checkpointing) Validate() error {
+	if c.Resume && c.Path == "" {
+		return fmt.Errorf("-resume requires -checkpoint <file>")
+	}
+	if c.EveryLevels != 0 && c.Path == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint <file>")
+	}
+	if c.EveryLevels < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0, got %d", c.EveryLevels)
+	}
+	return nil
+}
+
+// Reject returns an error when any durable-runs flag was set, for
+// tools whose runs have no checkpointable state.
+func (c Checkpointing) Reject(tool string) error {
+	if !c.Enabled() {
+		return nil
+	}
+	return fmt.Errorf("%s has no durable run state; -checkpoint/-checkpoint-every/-resume are supported by explore (and dacd jobs — see EXPERIMENTS.md \"Durable runs\")", tool)
 }
 
 // Session is one instrumented tool run.

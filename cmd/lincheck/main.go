@@ -48,6 +48,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := obsF.Checkpointing().Reject("lincheck"); err != nil {
+		fmt.Fprintf(stderr, "lincheck: %v\n", err)
+		return 2
+	}
 	if *specName == "" {
 		fmt.Fprintln(stderr, "lincheck: -spec is required")
 		return 2

@@ -1,0 +1,90 @@
+package enumerate_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"setagree/internal/enumerate"
+	"setagree/internal/obs"
+)
+
+// countEvents returns how many JSONL lines in buf carry the given
+// event name.
+func countEvents(buf *bytes.Buffer, event string) int {
+	return strings.Count(buf.String(), `"event":"`+event+`"`)
+}
+
+// TestSweepCancellation cancels a sweep from its own progress callback
+// and requires the PR 3/4 error-path contract: partial counters stay
+// flushed, exactly one terminal event (sweep.error, not sweep.done) is
+// emitted, and the returned error wraps the context's.
+func TestSweepCancellation(t *testing.T) {
+	t.Parallel()
+	f := theorem42Family(1)
+	vectors := binaryVectors(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := obs.NewSink()
+	var events bytes.Buffer
+	_, err := enumerate.FalsifyDAC(f, 3, vectors, enumerate.SweepOptions{
+		Workers: 2,
+		Obs:     sink,
+		Events:  obs.NewEmitter(&events),
+		Ctx:     ctx,
+		OnProgress: func(p enumerate.Progress) {
+			if p.Candidates >= 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snap := sink.Snapshot()
+	if got := snap.Counters["sweep.errors"]; got != 1 {
+		t.Errorf("sweep.errors = %d, want 1", got)
+	}
+	if got := snap.Counters["sweep.candidates"]; got < 3 {
+		t.Errorf("sweep.candidates = %d, want >= 3 (partial counters must stay flushed)", got)
+	}
+	if n := countEvents(&events, "sweep.error"); n != 1 {
+		t.Errorf("sweep.error events = %d, want exactly 1\n%s", n, events.String())
+	}
+	if n := countEvents(&events, "sweep.done"); n != 0 {
+		t.Errorf("sweep.done emitted on a cancelled sweep:\n%s", events.String())
+	}
+}
+
+// TestSweepPreCancelled starts a sweep under an already-cancelled
+// context: no candidates are claimed, yet the terminal sweep.error
+// event and counter still fire exactly once.
+func TestSweepPreCancelled(t *testing.T) {
+	t.Parallel()
+	f := theorem42Family(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink := obs.NewSink()
+	var events bytes.Buffer
+	_, err := enumerate.FalsifyDAC(f, 3, binaryVectors(3), enumerate.SweepOptions{
+		Workers: 4,
+		Obs:     sink,
+		Events:  obs.NewEmitter(&events),
+		Ctx:     ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snap := sink.Snapshot()
+	if got := snap.Counters["sweep.candidates"]; got != 0 {
+		t.Errorf("sweep.candidates = %d, want 0 under a pre-cancelled context", got)
+	}
+	if got := snap.Counters["sweep.errors"]; got != 1 {
+		t.Errorf("sweep.errors = %d, want 1", got)
+	}
+	if n := countEvents(&events, "sweep.error"); n != 1 {
+		t.Errorf("sweep.error events = %d, want exactly 1", n)
+	}
+}

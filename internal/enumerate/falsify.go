@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -62,8 +63,17 @@ type SweepOptions struct {
 	// Events, when set, receives one sweep.candidate JSONL event per
 	// checked candidate (index, outcome, states, elapsed_ns; emitted in
 	// completion order, which under Workers > 1 is not candidate order)
-	// and a final sweep.done summary. Nil disables events.
+	// and exactly one terminal event: sweep.done on success, or
+	// sweep.error (with an "error" field) when the sweep failed or was
+	// cancelled. Nil disables events.
 	Events *obs.Emitter
+	// Ctx, when set, cancels the sweep cooperatively: workers stop
+	// claiming candidates, in-flight model checks stop at their next
+	// BFS level barrier (Ctx is threaded into each explore.Check),
+	// counters for completed candidates stay flushed, one sweep.error
+	// terminal event is emitted, and the sweep returns an error
+	// satisfying errors.Is(err, ctx.Err()).
+	Ctx context.Context
 }
 
 func (o *SweepOptions) fill() {
@@ -297,6 +307,9 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 				if i >= len(cands) || failed.Load() {
 					return
 				}
+				if ctx := opts.Ctx; ctx != nil && ctx.Err() != nil {
+					return
+				}
 				var begin time.Time
 				if timed {
 					begin = time.Now()
@@ -350,10 +363,24 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 	}
 	wg.Wait()
 
+	// Terminal-event contract (matching explore's): exactly one of
+	// sweep.done or sweep.error per sweep. Counters for completed
+	// candidates were flushed live above, so a failed or cancelled
+	// sweep still reports its partial work.
+	fail := func(err error) error {
+		opts.Obs.Counter("sweep.errors").Inc()
+		if opts.Events != nil {
+			opts.Events.Emit("sweep.error", obs.Fields{"error": err.Error()})
+		}
+		return err
+	}
 	for i := range outcomes {
 		if err := outcomes[i].err; err != nil {
-			return err
+			return fail(err)
 		}
+	}
+	if ctx := opts.Ctx; ctx != nil && ctx.Err() != nil {
+		return fail(fmt.Errorf("enumerate: sweep interrupted: %w", ctx.Err()))
 	}
 	rep.Candidates = len(cands)
 	for i := range outcomes {
@@ -407,6 +434,7 @@ func checkCandidate(c candidate, objs []spec.Spec, tsk task.Task,
 			Symmetry:       mode,
 			Obs:            opts.Obs,
 			HeartbeatEvery: -1,
+			Ctx:            opts.Ctx,
 		})
 		if mode != explore.SymmetryOff &&
 			(errors.Is(err, explore.ErrNotSymmetric) || errors.Is(err, explore.ErrSymmetryUnsupported)) {
@@ -419,6 +447,7 @@ func checkCandidate(c candidate, objs []spec.Spec, tsk task.Task,
 				MaxStates:      opts.MaxStatesPerCandidate,
 				Obs:            opts.Obs,
 				HeartbeatEvery: -1,
+				Ctx:            opts.Ctx,
 			})
 		}
 		if errors.Is(err, explore.ErrStateLimit) {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -69,6 +70,39 @@ type Options struct {
 	// barrier after every N expanded configurations when Events is set
 	// (default 1 << 15; negative disables heartbeats).
 	HeartbeatEvery int
+	// Ctx, when set, cancels the exploration cooperatively: the BFS
+	// checks it at each level barrier (never mid-level, so the partial
+	// state stays level-consistent), writes a final snapshot when
+	// Checkpoint is configured, flushes partial counters, emits one
+	// explore.error terminal event, and returns the partial Report with
+	// an error satisfying errors.Is(err, ctx.Err()).
+	Ctx context.Context
+	// Checkpoint configures durable snapshots of the BFS (see
+	// CheckpointOptions); the zero value disables them.
+	Checkpoint CheckpointOptions
+}
+
+// CheckpointOptions configures durable snapshots of an exploration.
+// Snapshots are written atomically at level barriers and restored by
+// Resume, which continues the BFS to a Report — and witness schedules,
+// DOT output, and event stream — byte-identical to the uninterrupted
+// run's.
+type CheckpointOptions struct {
+	// Path is the snapshot file; empty disables checkpointing. Each
+	// snapshot atomically replaces the previous one.
+	Path string
+	// EveryLevels writes a snapshot after every N completed BFS levels
+	// (default 1: every level barrier).
+	EveryLevels int
+	// After, when set, runs after each periodic snapshot commits,
+	// receiving the number of completed levels. Returning a non-nil
+	// error aborts the run with it: the kill-resume tests use this to
+	// simulate a crash at an exact level boundary, and long-running
+	// services can surface snapshot progress through it. Setting After
+	// makes every commit synchronous at its barrier (the hook's
+	// contract is that its level's snapshot is on disk); without it the
+	// write+fsync overlaps the next levels' exploration.
+	After func(level int) error
 }
 
 // ViolationKind classifies a found violation.
@@ -202,12 +236,25 @@ const minShardConfigs = 8
 // emits the matching terminal event, and returns the partial Report
 // alongside the error.
 func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
+	st, rep, err := newSearch(sys, tsk, &opts)
+	if err != nil {
+		return rep, err
+	}
+	return st.run()
+}
+
+// newSearch validates the system/task pair, normalizes opts in place,
+// builds the symmetry group, and interns the root configuration. On
+// validation failure before the graph exists the returned Report is
+// nil; past that point the partial Report is returned flushed (one
+// explore.error terminal event), matching Check's error contract.
+func newSearch(sys *System, tsk task.Task, opts *Options) (*search, *Report, error) {
 	if len(sys.Programs) != len(sys.Inputs) {
-		return nil, fmt.Errorf("explore: %d programs but %d inputs: %w",
+		return nil, nil, fmt.Errorf("explore: %d programs but %d inputs: %w",
 			len(sys.Programs), len(sys.Inputs), machine.ErrProgram)
 	}
 	if tsk != nil && tsk.Procs() != sys.Procs() {
-		return nil, fmt.Errorf("explore: task %s wants %d processes, system has %d: %w",
+		return nil, nil, fmt.Errorf("explore: task %s wants %d processes, system has %d: %w",
 			tsk.Name(), tsk.Procs(), sys.Procs(), machine.ErrProgram)
 	}
 	if opts.MaxStates <= 0 {
@@ -222,11 +269,11 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 
 	g := &graph{sys: sys, tsk: tsk, ids: make(map[string]int)}
 	rep := &Report{g: g}
-	st := &search{g: g, rep: rep, opts: &opts, frontierMax: 1, hbNext: opts.HeartbeatEvery}
-	fail := func(err error) (*Report, error) {
+	st := &search{g: g, rep: rep, opts: opts, frontierMax: 1, hbNext: opts.HeartbeatEvery}
+	fail := func(err error) (*search, *Report, error) {
 		rep.States = len(g.configs)
 		st.flush("explore.error", err)
-		return rep, err
+		return nil, rep, err
 	}
 
 	root, err := initialConfig(sys)
@@ -250,6 +297,18 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 	// Every group element stabilizes the root, so its concrete key is
 	// already canonical.
 	g.intern(root.AppendKey(nil), root, -1, Step{}, 0)
+	return st, rep, nil
+}
+
+// run drives the BFS to completion (or failure) and performs the
+// post-exploration analyses — the shared tail of Check and Resume.
+func (st *search) run() (*Report, error) {
+	g, rep, opts := st.g, st.rep, st.opts
+	fail := func(err error) (*Report, error) {
+		rep.States = len(g.configs)
+		st.flush("explore.error", err)
+		return rep, err
+	}
 
 	if err := st.bfs(); err != nil {
 		rep.States = len(g.configs)
@@ -262,16 +321,22 @@ func Check(sys *System, tsk task.Task, opts Options) (*Report, error) {
 	}
 	rep.States = len(g.configs)
 
-	if tsk != nil {
+	if g.tsk != nil {
 		g.checkSafety(rep)
 		g.checkLiveness(rep)
 	}
 	if opts.Valency {
 		v, err := g.valency()
 		if err != nil {
-			return fail(err)
+			return fail(flushCkpt(st, err))
 		}
 		rep.Valency = v
+	}
+	// Drain the last snapshot write, which bfs's success path leaves
+	// committing in the background across the analyses above. No Check
+	// return leaves a write in flight.
+	if err := st.ckptWait(); err != nil {
+		return fail(err)
 	}
 	st.flush("explore.done", nil)
 	return rep, nil
@@ -282,11 +347,28 @@ type search struct {
 	g           *graph
 	rep         *Report
 	opts        *Options
-	expanded    int // configurations expanded (all levels merged so far)
-	frontierMax int // max unexpanded remainder at any level barrier
-	hbNext      int // next heartbeat boundary in expanded configs
-	symHits     int // successors whose canonical key differed from their concrete key
-	orbitMax    int // largest successor orbit seen
+	expanded    int    // configurations expanded (all levels merged so far)
+	frontierMax int    // max unexpanded remainder at any level barrier
+	hbNext      int    // next heartbeat boundary in expanded configs
+	symHits     int    // successors whose canonical key differed from their concrete key
+	orbitMax    int    // largest successor orbit seen
+	level       int    // completed BFS levels
+	fp          uint64 // memoized system fingerprint (see fingerprint)
+	fpSet       bool
+
+	// Append-only snapshot section caches (see encodeSnapshot): the
+	// encoded spanning-tree entries for ids [1, ckptTreeN), the encoded
+	// edge lists for ids [0, ckptEdgeN), and the counters-section
+	// scratch reused across snapshots.
+	ckptTree  []byte
+	ckptTreeN int
+	ckptEdges []byte
+	ckptEdgeN int
+	ckptBuf   []byte
+
+	// Result channel of the in-flight background snapshot write; nil
+	// when none. See writeCheckpoint/ckptWait.
+	ckptPending chan error
 }
 
 // succRec is one successor produced by a worker, in canonical (proc,
@@ -324,20 +406,99 @@ type shardOut struct {
 // in canonical order. Because FIFO BFS discovers whole levels
 // contiguously, the canonical merge assigns exactly the ids a
 // sequential BFS would, at any worker count.
+// A resumed search re-enters the loop at the restored st.expanded and
+// proceeds identically, which is what makes kill-resume byte-exact.
 func (st *search) bfs() error {
 	g := st.g
-	for levelStart := 0; levelStart < len(g.configs); {
+	for levelStart := st.expanded; levelStart < len(g.configs); {
+		if err := st.interrupted(); err != nil {
+			return flushCkpt(st, err)
+		}
 		levelEnd := len(g.configs)
 		outs := st.expandLevel(levelStart, levelEnd)
 		if err := st.mergeLevel(outs); err != nil {
-			return err
+			return flushCkpt(st, err)
 		}
 		st.expanded = levelEnd
 		if frontier := len(g.configs) - st.expanded; frontier > st.frontierMax {
 			st.frontierMax = frontier
 		}
+		st.level++
+		// Heartbeat before snapshot, so the snapshot's event-sequence
+		// counter covers everything this barrier emitted.
 		st.heartbeat()
+		if err := st.maybeCheckpoint(); err != nil {
+			return flushCkpt(st, err)
+		}
 		levelStart = levelEnd
+	}
+	// The last periodic snapshot may still be committing in the
+	// background. Error exits above drain it; the success path leaves
+	// it in flight so the commit overlaps the post-exploration
+	// analyses — run() drains before Check returns.
+	return nil
+}
+
+// flushCkpt drains any in-flight snapshot write before bfs surfaces
+// err, joining a write failure onto it. It deliberately returns err
+// itself (not a wrapper) when the drain is clean, so callers matching
+// with errors.Is see the undecorated error chain.
+func flushCkpt(st *search, err error) error {
+	if werr := st.ckptWait(); werr != nil {
+		return errors.Join(err, werr)
+	}
+	return err
+}
+
+// interrupted polls Options.Ctx at a level barrier. On cancellation it
+// writes a final snapshot (when checkpointing is configured) so the run
+// is resumable from exactly this barrier, then reports an error
+// wrapping ctx.Err().
+func (st *search) interrupted() error {
+	ctx := st.opts.Ctx
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		return nil
+	}
+	err := fmt.Errorf("explore: interrupted after level %d (%d of %d configurations expanded): %w",
+		st.level, st.expanded, len(st.g.configs), ctx.Err())
+	if st.opts.Checkpoint.Path != "" {
+		// wait=true: the caller may exit the process right after this
+		// barrier, so the final snapshot must be durable before the
+		// error surfaces.
+		if werr := st.writeCheckpoint(true); werr != nil {
+			return errors.Join(err, werr)
+		}
+	}
+	return err
+}
+
+// maybeCheckpoint writes the periodic snapshot at a level barrier and
+// runs the After hook. Without a hook the container commit overlaps
+// the next levels' exploration (see writeCheckpoint); with one, the
+// hook's contract — this level's snapshot is on disk when it runs —
+// forces the barrier to wait for the commit first.
+func (st *search) maybeCheckpoint() error {
+	cp := &st.opts.Checkpoint
+	if cp.Path == "" {
+		return nil
+	}
+	every := cp.EveryLevels
+	if every <= 0 {
+		every = 1
+	}
+	if st.level%every != 0 {
+		return nil
+	}
+	if err := st.writeCheckpoint(cp.After != nil); err != nil {
+		return err
+	}
+	if cp.After != nil {
+		return cp.After(st.level)
 	}
 	return nil
 }

@@ -1,0 +1,42 @@
+package lincheck_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"setagree/internal/lincheck"
+	"setagree/internal/objects"
+	"setagree/internal/obs"
+	"setagree/internal/value"
+)
+
+// TestFuzzCancellation runs Fuzz under an already-cancelled context:
+// every client stops before its first operation, the run's counters
+// are still flushed (the partial-work contract shared with the other
+// engines), and the returned error wraps the context's.
+func TestFuzzCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink := obs.NewSink()
+	_, _, err := lincheck.Fuzz(objects.NewRegister(), func(p, i int) value.Op {
+		return value.Read()
+	}, lincheck.FuzzOptions{Procs: 3, OpsPerProc: 4, Obs: sink, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snap := sink.Snapshot()
+	if got := snap.Counters["lincheck.fuzz_runs"]; got != 1 {
+		t.Errorf("lincheck.fuzz_runs = %d, want 1 (cancelled runs still flush counters)", got)
+	}
+	if got := snap.Counters["lincheck.events"]; got != 0 {
+		t.Errorf("lincheck.events = %d, want 0 (no op ran)", got)
+	}
+	// A live context leaves Fuzz untouched.
+	if _, _, err := lincheck.Fuzz(objects.NewRegister(), func(p, i int) value.Op {
+		return value.Read()
+	}, lincheck.FuzzOptions{Procs: 3, OpsPerProc: 4, Ctx: context.Background()}); err != nil {
+		t.Fatalf("Fuzz with live context: %v", err)
+	}
+}

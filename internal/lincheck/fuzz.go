@@ -1,6 +1,7 @@
 package lincheck
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -29,6 +30,12 @@ type FuzzOptions struct {
 	// not_linearizable (failed checks). Nil disables metrics at zero
 	// cost.
 	Obs *obs.Sink
+	// Ctx, when set, cancels the fuzz run cooperatively: each client
+	// goroutine checks it before every operation, the partial history's
+	// counters (fuzz_runs, events) are still flushed, and Fuzz returns
+	// an error satisfying errors.Is(err, ctx.Err()) without running the
+	// linearizability check.
+	Ctx context.Context
 }
 
 // Fuzz runs a concurrent workload against a fresh Atomic wrapping sp,
@@ -61,6 +68,10 @@ func Fuzz(sp spec.Spec, gen OpGen, opts FuzzOptions) (*history.History, *Result,
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < opts.OpsPerProc; i++ {
+				if ctx := opts.Ctx; ctx != nil && ctx.Err() != nil {
+					errs[p-1] = fmt.Errorf("lincheck: fuzz interrupted at op %d of process %d: %w", i, p, ctx.Err())
+					return
+				}
 				if _, err := obj.Apply(p, gen(p, i)); err != nil {
 					errs[p-1] = err
 					return
@@ -69,14 +80,16 @@ func Fuzz(sp spec.Spec, gen OpGen, opts FuzzOptions) (*history.History, *Result,
 		}(p)
 	}
 	wg.Wait()
+	// Flush before the error check so a cancelled or failed run still
+	// reports the workload it completed.
+	h := rec.History()
+	opts.Obs.Counter("lincheck.fuzz_runs").Inc()
+	opts.Obs.Counter("lincheck.events").Add(int64(h.Len()))
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	h := rec.History()
-	opts.Obs.Counter("lincheck.fuzz_runs").Inc()
-	opts.Obs.Counter("lincheck.events").Add(int64(h.Len()))
 	res, err := CheckObject(h, sp)
 	if err != nil {
 		opts.Obs.Counter("lincheck.not_linearizable").Inc()

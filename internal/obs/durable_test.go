@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSetSeqContinuity checks that an emitter seeded with SetSeq
+// continues an interrupted stream's numbering, producing lines
+// byte-identical to the uninterrupted stream (the property checkpoint
+// resume relies on).
+func TestSetSeqContinuity(t *testing.T) {
+	t.Parallel()
+	fixed := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	clock := func() time.Time { return fixed }
+
+	var whole bytes.Buffer
+	e := NewEmitterAt(&whole, clock)
+	for i := 0; i < 5; i++ {
+		e.Emit("tick", Fields{"i": i})
+	}
+
+	var head, tail bytes.Buffer
+	h := NewEmitterAt(&head, clock)
+	h.Emit("tick", Fields{"i": 0})
+	h.Emit("tick", Fields{"i": 1})
+	r := NewEmitterAt(&tail, clock)
+	r.SetSeq(h.Seq())
+	for i := 2; i < 5; i++ {
+		r.Emit("tick", Fields{"i": i})
+	}
+	if got := head.String() + tail.String(); got != whole.String() {
+		t.Errorf("resumed stream differs:\n%q\nvs\n%q", got, whole.String())
+	}
+	var nilE *Emitter
+	nilE.SetSeq(7) // must not panic
+}
+
+// flushRecorder counts Flush calls, standing in for a bufio-style
+// writer on the Sync path.
+type flushRecorder struct {
+	bytes.Buffer
+	flushes int
+	err     error
+}
+
+func (f *flushRecorder) Flush() error {
+	f.flushes++
+	return f.err
+}
+
+func TestEmitterSync(t *testing.T) {
+	t.Parallel()
+	var nilE *Emitter
+	if err := nilE.Sync(); err != nil {
+		t.Errorf("nil emitter Sync: %v", err)
+	}
+	// Plain writers (no Sync/Flush) are a no-op.
+	if err := NewEmitter(&bytes.Buffer{}).Sync(); err != nil {
+		t.Errorf("plain writer Sync: %v", err)
+	}
+	// Flush-capable writers are flushed, and a flush error latches.
+	fr := &flushRecorder{}
+	e := NewEmitter(fr)
+	e.Emit("x", nil)
+	if err := e.Sync(); err != nil || fr.flushes != 1 {
+		t.Errorf("Sync: err=%v flushes=%d, want nil, 1", err, fr.flushes)
+	}
+	fr.err = errors.New("disk gone")
+	if err := e.Sync(); !errors.Is(err, fr.err) {
+		t.Errorf("Sync did not surface flush error: %v", err)
+	}
+	if err := e.Err(); !errors.Is(err, fr.err) {
+		t.Errorf("flush error not latched: %v", err)
+	}
+	e.Emit("y", nil) // latched: must be dropped, not crash
+	// *os.File path: events written, synced, durable on disk.
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fe := NewEmitter(f)
+	fe.Emit("z", nil)
+	if err := fe.Sync(); err != nil {
+		t.Fatalf("file Sync: %v", err)
+	}
+	if buf, _ := os.ReadFile(path); !bytes.Contains(buf, []byte(`"event":"z"`)) {
+		t.Errorf("synced file missing event: %q", buf)
+	}
+}
+
+func TestTruncateEventsFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	read := func(p string) string {
+		t.Helper()
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+
+	// Overshoot lines (seq > maxSeq) are trimmed.
+	p := write("overshoot.jsonl",
+		`{"event":"a","seq":1}`+"\n"+`{"event":"b","seq":2}`+"\n"+`{"event":"c","seq":3}`+"\n")
+	if err := TruncateEventsFile(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := read(p), `{"event":"a","seq":1}`+"\n"+`{"event":"b","seq":2}`+"\n"; got != want {
+		t.Errorf("overshoot trim: %q, want %q", got, want)
+	}
+
+	// A torn final line (no trailing newline — a kill -9 artifact) is
+	// dropped even when its seq would qualify.
+	p = write("torn.jsonl", `{"event":"a","seq":1}`+"\n"+`{"event":"b","se`)
+	if err := TruncateEventsFile(p, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := read(p), `{"event":"a","seq":1}`+"\n"; got != want {
+		t.Errorf("torn-line trim: %q, want %q", got, want)
+	}
+
+	// An unparsable complete line stops the keep-scan there.
+	p = write("garbage.jsonl", `{"event":"a","seq":1}`+"\n"+"not json\n"+`{"event":"c","seq":3}`+"\n")
+	if err := TruncateEventsFile(p, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := read(p), `{"event":"a","seq":1}`+"\n"; got != want {
+		t.Errorf("garbage trim: %q, want %q", got, want)
+	}
+
+	// A file entirely within budget is untouched.
+	whole := `{"event":"a","seq":1}` + "\n" + `{"event":"b","seq":2}` + "\n"
+	p = write("whole.jsonl", whole)
+	if err := TruncateEventsFile(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(p); got != whole {
+		t.Errorf("in-budget file modified: %q", got)
+	}
+
+	// A missing file is not an error.
+	if err := TruncateEventsFile(filepath.Join(dir, "nope.jsonl"), 5); err != nil {
+		t.Errorf("missing file: %v", err)
+	}
+}

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -89,4 +91,73 @@ func (e *Emitter) Seq() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.seq
+}
+
+// SetSeq sets the emission sequence counter, so a run resumed from a
+// checkpoint continues the original stream's numbering instead of
+// restarting at 1. No-op on a nil receiver.
+func (e *Emitter) SetSeq(seq int64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq = seq
+}
+
+// Sync forces buffered events to stable storage when the underlying
+// writer supports it (an *os.File's Sync, or a Flush method) and
+// returns the latched emission error, so callers shutting down — the
+// daemon's drain path in particular — observe a dead event file
+// instead of silently dropping its tail. Nil-receiver safe.
+func (e *Emitter) Sync() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	switch w := e.w.(type) {
+	case interface{ Sync() error }:
+		e.err = w.Sync()
+	case interface{ Flush() error }:
+		e.err = w.Flush()
+	}
+	return e.err
+}
+
+// TruncateEventsFile trims the JSONL events file at path to the prefix
+// of lines with seq <= maxSeq, dropping any torn trailing line a hard
+// kill may have left. Called before resuming a checkpointed run so the
+// continued stream is byte-identical to an uninterrupted one: events
+// emitted after the snapshot was taken are discarded and re-emitted by
+// the resumed run. A missing file is not an error (nothing to trim).
+func TruncateEventsFile(path string, maxSeq int64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	off := 0
+	for off < len(buf) {
+		nl := bytes.IndexByte(buf[off:], '\n')
+		if nl < 0 {
+			break // torn final line: drop
+		}
+		var rec struct {
+			Seq int64 `json:"seq"`
+		}
+		if json.Unmarshal(buf[off:off+nl], &rec) != nil || rec.Seq > maxSeq {
+			break
+		}
+		off += nl + 1
+	}
+	if off == len(buf) {
+		return nil
+	}
+	return os.Truncate(path, int64(off))
 }

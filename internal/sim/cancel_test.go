@@ -1,0 +1,100 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/obs"
+	"setagree/internal/programs"
+	"setagree/internal/sim"
+	"setagree/internal/task"
+)
+
+// TestTrialsPreCancelled starts a campaign under an already-cancelled
+// context: the trial-boundary check fires before the first system is
+// even built, and the error reports the (zero) progress.
+func TestTrialsPreCancelled(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	completed, violation, err := sim.Trials(func() (*explore.System, error) {
+		t.Fatal("factory called under a pre-cancelled context")
+		return nil, nil
+	}, task.DAC{N: 4, P: 0}, 50, 99, sim.Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "interrupted after 0 of 50 trials") {
+		t.Errorf("error does not report progress: %v", err)
+	}
+	if completed != 0 || violation != nil {
+		t.Errorf("completed = %d, violation = %v; want 0, nil", completed, violation)
+	}
+}
+
+// TestTrialsCancellation cancels mid-campaign from the system factory.
+// The very next run's step-0 poll observes the cancellation, so the
+// campaign stops with the counters of every finished trial flushed —
+// including sim.runs for the interrupted run itself — and no further
+// factory calls.
+func TestTrialsCancellation(t *testing.T) {
+	t.Parallel()
+	const n, stopAt = 4, 3
+	prot := programs.Algorithm2(n, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := obs.NewSink()
+	calls := 0
+	completed, violation, err := sim.Trials(func() (*explore.System, error) {
+		calls++
+		if calls > stopAt {
+			t.Fatalf("factory called %d times after cancellation at call %d", calls, stopAt)
+		}
+		if calls == stopAt {
+			cancel()
+		}
+		return prot.System(sim.Inputs(n, 1, 0))
+	}, task.DAC{N: n, P: 0}, 50, 99, sim.Options{MaxSteps: 4096, Obs: sink, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if violation != nil {
+		t.Errorf("unexpected violation: %v", violation)
+	}
+	if completed != stopAt-1 {
+		t.Errorf("completed = %d, want %d", completed, stopAt-1)
+	}
+	snap := sink.Snapshot()
+	if got := snap.Counters["sim.trials"]; got != stopAt-1 {
+		t.Errorf("sim.trials = %d, want %d (finished trials must stay flushed)", got, stopAt-1)
+	}
+	if got := snap.Counters["sim.runs"]; got != stopAt {
+		t.Errorf("sim.runs = %d, want %d (the interrupted run still flushes)", got, stopAt)
+	}
+}
+
+// TestRunPreCancelled runs under an already-cancelled context: Run
+// stops at its step-0 poll but still flushes the sim.* counters for
+// the (empty) run.
+func TestRunPreCancelled(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	sys := mustSystem(t, programs.Algorithm2(n, 1), sim.Inputs(n, 1, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink := obs.NewSink()
+	_, err := sim.Run(sys, task.DAC{N: n, P: 0}, sim.RoundRobin(), sim.Options{Obs: sink, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snap := sink.Snapshot()
+	if got := snap.Counters["sim.runs"]; got != 1 {
+		t.Errorf("sim.runs = %d, want 1 (cancelled runs still flush counters)", got)
+	}
+	if got := snap.Counters["sim.steps"]; got != 0 {
+		t.Errorf("sim.steps = %d, want 0", got)
+	}
+}

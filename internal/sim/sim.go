@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"setagree/internal/explore"
@@ -110,7 +111,17 @@ type Options struct {
 	// scheduler). Values are sums of work done, so identical runs yield
 	// identical metrics. Nil disables metrics at zero cost.
 	Obs *obs.Sink
+	// Ctx, when set, cancels cooperatively: Run checks it every
+	// ctxCheckEvery steps (still flushing the sim.* counters for the
+	// partial run), and Trials additionally checks it between trials.
+	// Both return an error satisfying errors.Is(err, ctx.Err()).
+	Ctx context.Context
 }
+
+// ctxCheckEvery is how many executed steps Run lets pass between
+// cancellation polls — frequent enough to stop promptly, rare enough
+// that the uncancelled fast path stays branch-predictable.
+const ctxCheckEvery = 1 << 10
 
 // Result describes one run.
 type Result struct {
@@ -163,7 +174,12 @@ func Run(sys *explore.System, tsk task.Task, sched Scheduler, opts Options) (*Re
 		return o
 	}
 
+	var interrupted error
 	for res.Steps < opts.MaxSteps {
+		if ctx := opts.Ctx; ctx != nil && res.Steps%ctxCheckEvery == 0 && ctx.Err() != nil {
+			interrupted = fmt.Errorf("sim: run interrupted after %d steps: %w", res.Steps, ctx.Err())
+			break
+		}
 		// Crash processes whose time has come.
 		for i, at := range opts.CrashAt {
 			if res.Steps >= at && procs[i].Status == machine.StatusPoised {
@@ -238,6 +254,9 @@ func Run(sys *explore.System, tsk task.Task, sched Scheduler, opts Options) (*Re
 			o.Counter("sim.replays").Inc()
 		}
 	}
+	if interrupted != nil {
+		return nil, interrupted
+	}
 	return res, nil
 }
 
@@ -280,6 +299,9 @@ func Trials(mk func() (*explore.System, error), tsk task.Task, trials int, seed 
 	}
 	trialCounter := opts.Obs.Counter("sim.trials")
 	for t := 0; t < trials; t++ {
+		if ctx := opts.Ctx; ctx != nil && ctx.Err() != nil {
+			return completed, violation, fmt.Errorf("sim: interrupted after %d of %d trials: %w", t, trials, ctx.Err())
+		}
 		sys, err := mk()
 		if err != nil {
 			return completed, violation, err
