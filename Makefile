@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race bench bench-json experiments
+.PHONY: verify fmt vet build test race bench bench-json bench-gate experiments
 
-verify: fmt vet build test race
+verify: fmt vet build test race bench-gate
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -37,10 +37,10 @@ test:
 # an uninterrupted run) is exactly the kind of cross-goroutine
 # determinism claim -race exists to audit.
 race:
-	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs
+	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs ./internal/store
 	EXPLORE_SYMMETRY_WORKERS=1 $(GO) test -race -run 'TestSymmetry' ./internal/explore
 	EXPLORE_SYMMETRY_WORKERS=4 $(GO) test -race -run 'TestSymmetry' ./internal/explore
-	$(GO) test -race -count=1 -run 'TestKillResume|TestResume|TestContextCancel' ./internal/explore
+	$(GO) test -race -count=1 -run 'TestKillResume|TestResume|TestContextCancel|TestDiskStore' ./internal/explore
 	$(GO) test -race -count=1 ./internal/checkpoint ./internal/jobs ./cmd/dacd
 
 bench:
@@ -87,7 +87,28 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=7/checkpoint' -benchtime 2x . > .bench_checkpoint.txt
 	jq -n --rawfile bench .bench_checkpoint.txt -f bench_checkpoint.jq > BENCH_checkpoint.json
 	rm -f .bench_checkpoint.txt
-	@echo "wrote BENCH_explore.json BENCH_experiments.json BENCH_checkpoint.json"
+	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=7/store' -benchtime 2x . > .bench_store.txt
+	jq -n --rawfile bench .bench_store.txt -f bench_store.jq > BENCH_store.json
+	rm -f .bench_store.txt
+	@echo "wrote BENCH_explore.json BENCH_experiments.json BENCH_checkpoint.json BENCH_store.json"
+
+# bench-gate is verify's throughput regression guard: one full alg2
+# n=7 exploration (~285k configurations) must hold at least 90% of the
+# committed baseline rate. The baseline is deliberately the FLOOR of
+# the rates sampled on a loaded single-core runner when it was
+# committed (observed spread 20k-48k states/sec run-to-run; typical
+# hosts sit well above), so the gate trips on gross regressions — a
+# lost fast path, an accidental O(n^2) — not on host noise. Update the
+# baseline in the same commit as any intentional engine change that
+# shifts it.
+BASELINE_STATES_PER_SEC = 20527.4853259108
+bench-gate:
+	$(GO) run ./cmd/explore -protocol alg2 -n 7 -metrics .bench_gate.json > /dev/null
+	@jq -e --argjson base $(BASELINE_STATES_PER_SEC) \
+		'.rates."explore.states_per_sec" >= $$base * 0.9' .bench_gate.json > /dev/null \
+		|| { echo "bench-gate: explore.states_per_sec $$(jq '.rates."explore.states_per_sec"' .bench_gate.json) fell below 90% of baseline $(BASELINE_STATES_PER_SEC)"; rm -f .bench_gate.json; exit 1; }
+	@echo "bench-gate: $$(jq '.rates."explore.states_per_sec"' .bench_gate.json) states/sec (baseline $(BASELINE_STATES_PER_SEC))"
+	@rm -f .bench_gate.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -8,6 +8,7 @@ package setagree_test
 
 import (
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"setagree/internal/programs"
 	"setagree/internal/sim"
 	"setagree/internal/spec"
+	"setagree/internal/store"
 	"setagree/internal/task"
 	"setagree/internal/universal"
 	"setagree/internal/value"
@@ -235,6 +237,67 @@ func BenchmarkModelCheckDAC(b *testing.B) {
 			}
 			benchModelCheckDACCkpt(b, 7, sim.Inputs(7, 1, 0), 1, explore.SymmetryOff, ckpt)
 		})
+	}
+	// The store rows compare the in-memory engine against the disk-backed
+	// out-of-core store (internal/store) on the same n=7 instance. The
+	// disk row runs under a 1.5 GiB live-heap budget — exceeding it would
+	// fail the row, so a passing run is itself the acceptance evidence —
+	// and both rows report report_fp, an FNV-32a fingerprint of the
+	// verdict counts, which must agree between the engines (full
+	// byte-identity, including DOT and event streams, is pinned by
+	// TestDiskStoreReportEquivalence). BENCH_store.json (make bench-json)
+	// snapshots these rows; the spill volume shows up as spilled_mb and
+	// the observed heap high-water mark as heap_max_mb.
+	for _, disk := range []bool{false, true} {
+		name := "mem"
+		so := store.Options{}
+		if disk {
+			name = "disk"
+			so = store.Options{Dir: b.TempDir(), Budget: 3 << 29} // 1.5 GiB
+		}
+		b.Run(fmt.Sprintf("n=7/store=%s", name), func(b *testing.B) {
+			benchModelCheckDACStore(b, 7, sim.Inputs(7, 1, 0), so)
+		})
+	}
+}
+
+// benchModelCheckDACStore is the store-dimension variant: same
+// exploration, optionally through the disk-backed store, with the
+// fingerprint and spill metrics described at the call site.
+func benchModelCheckDACStore(b *testing.B, n int, inputs []value.Value, so store.Options) {
+	prot := programs.Algorithm2(n, 1)
+	sink := obs.NewSink()
+	var last *explore.Report
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := prot.System(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := explore.Check(sys, task.DAC{N: n, P: 0},
+			explore.Options{Obs: sink, Workers: 1, Store: so})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Solved() {
+			b.Fatal(rep.Violations[0])
+		}
+		if last != nil {
+			last.Close()
+		}
+		last = rep
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d/%d/%d/%d", last.States, last.Transitions, last.Quiescent, len(last.Violations))
+	last.Close()
+	b.ReportMetric(float64(h.Sum32()), "report_fp")
+	b.ReportMetric(float64(last.States), "states")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(sink.Counter("explore.states").Load())/secs, "states/sec")
+	}
+	if so.Enabled() {
+		b.ReportMetric(float64(sink.Counter("store.spilled_bytes").Load())/float64(b.N)/(1<<20), "spilled_mb")
+		b.ReportMetric(float64(sink.Gauge("store.heap_bytes_max").Load())/(1<<20), "heap_max_mb")
 	}
 }
 

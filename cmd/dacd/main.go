@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	dacd -addr 127.0.0.1:8099 -data ./dacd-data [-job-workers N]
+//	dacd -addr 127.0.0.1:8099 -data ./dacd-data [-job-workers N] [-max-pending N]
 //
 // API (see EXPERIMENTS.md "Durable runs" for the full catalog):
 //
 //	GET  /healthz            liveness probe
-//	POST /jobs               submit {"kind":"explore","spec":{...}}
-//	GET  /jobs               list all jobs
+//	POST /jobs               submit {"kind":"explore","spec":{...}};
+//	                         429 + Retry-After when the pending queue
+//	                         is at -max-pending
+//	GET  /jobs               list all jobs, plus pending/max_pending
 //	GET  /jobs/{id}          one job's state
 //	POST /jobs/{id}/cancel   cancel (pending or running)
 //	GET  /jobs/{id}/result   result document of a done job
@@ -54,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "127.0.0.1:8099", "listen address (port 0 picks a free port)")
 	dataDir := fs.String("data", "dacd-data", "durable state directory (journal, checkpoints, events, results)")
 	workers := fs.Int("job-workers", 2, "concurrent job runners")
+	maxPending := fs.Int("max-pending", 256, "pending-queue bound: submissions beyond it get 429 with Retry-After (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget (final checkpoints + flushes)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dacd: %v\n", err)
 		return 2
 	}
+	store.LimitPending(*maxPending)
 	pool := jobs.NewPool(store, *workers, map[string]jobs.Runner{
 		"explore": runExploreJob,
 	})

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"setagree/internal/jobs"
+)
+
+// TestSubmitBackpressure pins the HTTP face of the bounded queue: a
+// full pending queue turns POST /jobs into 429 with a Retry-After
+// header, GET /jobs reports the occupancy and bound, and capacity
+// freed by the pool makes submissions succeed again.
+func TestSubmitBackpressure(t *testing.T) {
+	t.Parallel()
+	store, err := jobs.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	release := make(chan struct{})
+	pool := jobs.NewPool(store, 1, map[string]jobs.Runner{
+		"block": func(ctx context.Context, s *jobs.Store, j jobs.Job) ([]byte, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return []byte(`{}`), nil
+		},
+	})
+	ts := httptest.NewServer(newServer(store, pool))
+	defer ts.Close()
+	defer pool.Drain(context.Background())
+	defer close(release)
+
+	// Occupy the single worker, then fill the queue.
+	running := postJSON(t, ts.URL+"/jobs", map[string]any{"kind": "block"})
+	blocked := decodeJob(t, running)
+	waitJob(t, ts.URL, blocked.ID, jobs.Running, 10*time.Second)
+	store.LimitPending(1)
+	queued := decodeJob(t, postJSON(t, ts.URL+"/jobs", map[string]any{"kind": "block"}))
+
+	resp := postJSON(t, ts.URL+"/jobs", map[string]any{"kind": "block"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit over bound: %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Errorf("429 response carries no Retry-After header")
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Errorf("429 body = %+v, %v; want an error message", body, err)
+	}
+
+	lresp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list listResponse
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Pending != 1 || list.MaxPending != 1 || len(list.Jobs) != 2 {
+		t.Fatalf("GET /jobs = pending %d, max_pending %d, %d jobs; want 1, 1, 2",
+			list.Pending, list.MaxPending, len(list.Jobs))
+	}
+
+	// Draining the queue restores capacity.
+	release <- struct{}{} // finish the running job; the worker claims the queued one
+	waitJob(t, ts.URL, queued.ID, jobs.Running, 10*time.Second)
+	resp2 := postJSON(t, ts.URL+"/jobs", map[string]any{"kind": "block"})
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after drain: %s, want 202", resp2.Status)
+	}
+}
+
+// TestExploreJobDiskStore runs an explore job with the out-of-core
+// store and checks its verdict matches an in-memory job's, the arena
+// files are cleaned out of the job directory, and budget misuse in the
+// spec fails the job up front.
+func TestExploreJobDiskStore(t *testing.T) {
+	t.Parallel()
+	store, err := jobs.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	pool := jobs.NewPool(store, 1, map[string]jobs.Runner{"explore": runExploreJob})
+	ts := httptest.NewServer(newServer(store, pool))
+	defer ts.Close()
+	defer pool.Drain(context.Background())
+
+	spec := map[string]any{"protocol": "alg2", "n": 3, "p": 1, "valency": true}
+	mem := submitExplore(t, ts.URL, spec)
+	waitJob(t, ts.URL, mem.ID, jobs.Done, 30*time.Second)
+
+	spec["store"] = true
+	spec["store_budget"] = "1GB"
+	disk := submitExplore(t, ts.URL, spec)
+	waitJob(t, ts.URL, disk.ID, jobs.Done, 30*time.Second)
+	if got, want := verdictOf(getResult(t, ts.URL, disk.ID)), verdictOf(getResult(t, ts.URL, mem.ID)); got.Verdict != want.Verdict ||
+		got.States != want.States || got.Transitions != want.Transitions || got.Quiescent != want.Quiescent {
+		t.Errorf("disk-store job verdict %+v, want %+v", got, want)
+	}
+	if ents, err := os.ReadDir(filepath.Join(store.Dir(disk.ID), "store")); err == nil && len(ents) != 0 {
+		t.Errorf("arena files left in job dir after run: %v", ents)
+	}
+
+	bad := submitExplore(t, ts.URL, map[string]any{"protocol": "alg2", "n": 3, "p": 1, "store_budget": "1GB"})
+	j := waitJob(t, ts.URL, bad.ID, jobs.Failed, 30*time.Second)
+	if j.Error == "" {
+		t.Errorf("budget-without-store job failed with no error message")
+	}
+}

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"time"
 
 	"setagree/cmd/internal/protobuild"
 	"setagree/internal/explore"
 	"setagree/internal/jobs"
 	"setagree/internal/obs"
+	cfgstore "setagree/internal/store"
 )
 
 // exploreSpec is the JSON spec of an "explore" job: a protobuild
@@ -42,6 +44,14 @@ type exploreSpec struct {
 	// instance long-lived enough to watch over SSE (or to kill and
 	// resume).
 	PaceMs int `json:"pace_ms,omitempty"`
+	// Store spills the configuration store to a "store" subdirectory of
+	// the job's working directory (out-of-core exploration); reports and
+	// event streams stay byte-identical to in-memory runs.
+	Store bool `json:"store,omitempty"`
+	// StoreBudget bounds the live heap of a Store run, in the CLI
+	// -store budget syntax (e.g. "1.5GB"); exceeding it fails the job at
+	// a level barrier after a final checkpoint. Empty means no bound.
+	StoreBudget string `json:"store_budget,omitempty"`
 }
 
 // exploreResult is the result document of a finished explore job. The
@@ -124,6 +134,21 @@ func runExploreJob(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte
 			EveryLevels: sp.CheckpointEvery,
 		},
 	}
+	if sp.Store {
+		// The arena directory lives in the job's working directory; a
+		// resumed attempt reopens (and truncates) any leftover arenas, so
+		// crash debris never accumulates.
+		opts.Store = cfgstore.Options{Dir: filepath.Join(store.Dir(job.ID), "store")}
+		if sp.StoreBudget != "" {
+			budget, err := cfgstore.ParseBudget(sp.StoreBudget)
+			if err != nil {
+				return nil, fmt.Errorf("bad spec: %w", err)
+			}
+			opts.Store.Budget = budget
+		}
+	} else if sp.StoreBudget != "" {
+		return nil, fmt.Errorf("bad spec: store_budget without store")
+	}
 	if sp.PaceMs > 0 {
 		pace := time.Duration(sp.PaceMs) * time.Millisecond
 		opts.Checkpoint.After = func(int) error {
@@ -139,6 +164,13 @@ func runExploreJob(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte
 
 	start := time.Now()
 	var rep *explore.Report
+	// Release the disk-backed store (and remove its arenas) however the
+	// run ends; the checkpoint alone carries resume state.
+	defer func() {
+		if rep != nil {
+			rep.Close()
+		}
+	}()
 	if resume {
 		rep, err = explore.Resume(ckptPath, sys, tsk, opts)
 	} else {

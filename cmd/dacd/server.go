@@ -70,14 +70,30 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.pool.Submit(req.Kind, req.Spec)
 	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			// Back-pressure, not failure: the client should retry once
+			// the pool has drained some of the queue.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
 }
 
+// listResponse is the GET /jobs body: the job table plus the queue's
+// occupancy and Submit bound (max_pending 0 = unlimited).
+type listResponse struct {
+	Jobs       []jobs.Job `json:"jobs"`
+	Pending    int        `json:"pending"`
+	MaxPending int        `json:"max_pending"`
+}
+
 func (s *server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.List())
+	pending, limit := s.store.QueueStats()
+	writeJSON(w, http.StatusOK, listResponse{Jobs: s.store.List(), Pending: pending, MaxPending: limit})
 }
 
 func (s *server) get(w http.ResponseWriter, r *http.Request) {

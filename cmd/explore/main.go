@@ -10,6 +10,7 @@
 //
 //	explore -protocol alg2 -n 3 -p 1 [-inputs 1,0,0] [-valency] [-witness] [-workers N]
 //	explore -protocol alg2 -n 4 -checkpoint run.ckpt [-checkpoint-every L] [-resume]
+//	explore -protocol alg2 -n 7 -store ./run-store:1.5GB
 //	explore -protocol consensus-pacm -n 3 -m 2
 //	explore -protocol partition -k 2 -m 2
 //	explore -protocol naive-2sa -procs 2
@@ -40,6 +41,14 @@
 // (run.start, then events from the restored level on); the
 // byte-continuous event stream across kills is the dacd daemon's job.
 // See EXPERIMENTS.md "Durable runs" for the container format.
+//
+// Out-of-core runs: -store <dir>[:<budget>] spills the configuration
+// store to mmap'd append-only arenas under dir, keeping only the
+// active BFS frontier hot; an optional budget (e.g. 1.5GB) bounds the
+// live heap, aborting at a level barrier with a final checkpoint when
+// exceeded. Reports, witnesses, valency labels, DOT output, and event
+// streams are byte-identical to an in-memory run. See EXPERIMENTS.md
+// "Out-of-core exploration".
 //
 // Exploration runs a level-synchronized parallel BFS; -workers sets
 // the goroutine count (default GOMAXPROCS) and every report, witness
@@ -77,6 +86,7 @@ import (
 	"setagree/cmd/internal/obsflags"
 	"setagree/cmd/internal/protobuild"
 	"setagree/internal/explore"
+	"setagree/internal/store"
 )
 
 func main() {
@@ -93,6 +103,7 @@ type config struct {
 	workers   int
 	symmetry  string
 	dotFile   string
+	storeFlag string
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -117,11 +128,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&c.maxStates, "max-states", 1<<21, "state cap")
 	fs.IntVar(&c.workers, "workers", 0, "BFS worker goroutines (0 = GOMAXPROCS; output is byte-identical at any setting)")
 	fs.StringVar(&c.symmetry, "symmetry", "off", "symmetry reduction: off | ids | values (intern orbit representatives; verdicts match -symmetry off)")
+	fs.StringVar(&c.storeFlag, "store", "", "out-of-core exploration: spill the configuration store to this directory, optionally with an in-memory budget, e.g. ./run-store or ./run-store:1.5GB (output is byte-identical to an in-memory run)")
 	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	symMode, err := explore.ParseSymmetry(c.symmetry)
+	if err != nil {
+		fmt.Fprintf(stderr, "explore: %v\n", err)
+		return 2
+	}
+	storeOpts, err := store.ParseFlag(c.storeFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "explore: %v\n", err)
 		return 2
@@ -167,6 +184,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Obs:       sess.Sink,
 		Events:    sess.Events,
 		Ctx:       ctx,
+		Store:     storeOpts,
 		Checkpoint: explore.CheckpointOptions{
 			Path:        ck.Path,
 			EveryLevels: ck.EveryLevels,
@@ -174,6 +192,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	start := time.Now()
 	var rep *explore.Report
+	// Close releases the disk-backed store (no-op for in-memory runs)
+	// after every report artifact — witnesses, valency, DOT — has been
+	// rendered.
+	defer func() {
+		if rep != nil {
+			rep.Close()
+		}
+	}()
 	if ck.Resume {
 		rep, err = explore.Resume(ck.Path, sys, tsk, opts)
 	} else {

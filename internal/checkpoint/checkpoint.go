@@ -27,12 +27,15 @@
 package checkpoint
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // Snapshot rejection reasons, wrapped by Read's errors so callers can
@@ -49,6 +52,11 @@ var (
 	// ErrFingerprint reports a snapshot taken from different inputs
 	// than the resume was asked to continue.
 	ErrFingerprint = errors.New("checkpoint: fingerprint mismatch")
+	// ErrSync reports that a written snapshot could not be made
+	// durable: the data fsync, or the parent-directory fsync that
+	// commits the rename, failed. The file may be visible but must not
+	// be assumed to survive a crash.
+	ErrSync = errors.New("checkpoint: snapshot not durable")
 )
 
 // magic opens every checkpoint file. The trailing digit is the
@@ -131,7 +139,9 @@ func WriteV(path string, h Header, sections [][]byte) error {
 		return cleanup(err)
 	}
 	if err := tmp.Sync(); err != nil {
-		return cleanup(err)
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: sync %s: %v: %w", tmpName, err, ErrSync)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
@@ -141,27 +151,147 @@ func WriteV(path string, h Header, sections [][]byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	// The rename is only durable once the directory entry itself is on
+	// disk: without this fsync a crash right after the rename can lose
+	// the snapshot (or resurrect the old one) on journaling filesystems.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory that just received a renamed snapshot.
+// Filesystems that reject fsync on a directory handle (EINVAL/ENOTSUP)
+// are tolerated — the rename is atomic there regardless; real failures
+// are reported wrapping ErrSync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: sync dir %s: %v: %w", dir, err, ErrSync)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("checkpoint: sync dir %s: %v: %w", dir, err, ErrSync)
+	}
 	return nil
 }
 
-// load reads the file, validates magic and checksum, and returns a
-// decoder positioned at the header fields.
-func load(path string) (*Dec, error) {
-	buf, err := os.ReadFile(path)
+// creader streams a snapshot file through an incremental CRC-32C while
+// tracking the bytes consumed. It implements io.ByteReader so varints
+// decode straight off the stream.
+type creader struct {
+	r   *bufio.Reader
+	crc uint32
+	n   int64
+	tmp [1]byte
+}
+
+func (c *creader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: %w", err)
+		return 0, err
 	}
-	if len(buf) < len(magic)+4 {
-		return nil, fmt.Errorf("checkpoint: %s: %d bytes: %w", path, len(buf), ErrCorrupt)
+	c.tmp[0] = b
+	c.crc = crc32.Update(c.crc, castagnoli, c.tmp[:1])
+	c.n++
+	return b, nil
+}
+
+func (c *creader) readFull(p []byte) error {
+	if _, err := io.ReadFull(c.r, p); err != nil {
+		return err
 	}
-	if [8]byte(buf[:len(magic)]) != magic {
-		return nil, fmt.Errorf("checkpoint: %s: %w", path, ErrBadMagic)
+	c.crc = crc32.Update(c.crc, castagnoli, p)
+	c.n += int64(len(p))
+	return nil
+}
+
+func (c *creader) uint64() (uint64, error) {
+	var b [8]byte
+	if err := c.readFull(b[:]); err != nil {
+		return 0, err
 	}
-	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
-	if crc32.Checksum(body, castagnoli) != sum {
-		return nil, fmt.Errorf("checkpoint: %s: checksum mismatch: %w", path, ErrCorrupt)
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// load streams the snapshot at path: magic and header are parsed
+// incrementally, the declared payload length is cross-checked against
+// the file size before any payload allocation (the container is
+// header|payload|crc and nothing else, so the sizes must match
+// exactly), and the CRC-32C is folded in as bytes arrive. With
+// wantPayload false the payload is streamed through the checksum in
+// bounded chunks and never retained, so integrity-only reads (Peek) run
+// at constant memory no matter how large the snapshot is.
+func load(path string, wantPayload bool) (Header, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return NewDec(body[len(magic):]), nil
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	size := info.Size()
+	if size < int64(len(magic))+4 {
+		return Header{}, nil, fmt.Errorf("checkpoint: %s: %d bytes: %w", path, size, ErrCorrupt)
+	}
+	cr := &creader{r: bufio.NewReader(f)}
+	var mag [8]byte
+	if err := cr.readFull(mag[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("checkpoint: %s: %w", path, ErrCorrupt)
+	}
+	if mag != magic {
+		return Header{}, nil, fmt.Errorf("checkpoint: %s: %w", path, ErrBadMagic)
+	}
+	badHeader := func() (Header, []byte, error) {
+		return Header{}, nil, fmt.Errorf("checkpoint: %s: header: %w", path, ErrCorrupt)
+	}
+	kindLen, err := binary.ReadUvarint(cr)
+	if err != nil || kindLen > uint64(size) {
+		return badHeader()
+	}
+	kind := make([]byte, kindLen)
+	if err := cr.readFull(kind); err != nil {
+		return badHeader()
+	}
+	h := Header{Kind: string(kind)}
+	if h.Version, err = binary.ReadUvarint(cr); err != nil {
+		return badHeader()
+	}
+	if h.Fingerprint, err = cr.uint64(); err != nil {
+		return badHeader()
+	}
+	plen, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return badHeader()
+	}
+	if rest := size - cr.n - 4; rest < 0 || plen != uint64(rest) {
+		return Header{}, nil, fmt.Errorf("checkpoint: %s: payload length %d, file holds %d: %w",
+			path, plen, size-cr.n-4, ErrCorrupt)
+	}
+	var payload []byte
+	if wantPayload {
+		payload = make([]byte, plen)
+		if err := cr.readFull(payload); err != nil {
+			return Header{}, nil, fmt.Errorf("checkpoint: %s: %w", path, ErrCorrupt)
+		}
+	} else {
+		buf := make([]byte, min(plen, 64<<10))
+		for rest := plen; rest > 0; {
+			n := min(rest, uint64(len(buf)))
+			if err := cr.readFull(buf[:n]); err != nil {
+				return Header{}, nil, fmt.Errorf("checkpoint: %s: %w", path, ErrCorrupt)
+			}
+			rest -= n
+		}
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(cr.r, trailer[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("checkpoint: %s: %w", path, ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != cr.crc {
+		return Header{}, nil, fmt.Errorf("checkpoint: %s: checksum mismatch: %w", path, ErrCorrupt)
+	}
+	return h, payload, nil
 }
 
 // Read loads and validates the snapshot at path. kind must match the
@@ -185,19 +315,9 @@ func Read(path, kind string, maxVersion, fingerprint uint64) (version uint64, pa
 // reconstructed (status displays, pre-resume peeks). Integrity, kind,
 // and version are still enforced; resumes must go through Read.
 func ReadUnverified(path, kind string, maxVersion uint64) (Header, []byte, error) {
-	d, err := load(path)
+	h, payload, err := load(path, true)
 	if err != nil {
 		return Header{}, nil, err
-	}
-	h := Header{Kind: string(d.Bytes(int(d.Uvarint())))}
-	h.Version = d.Uvarint()
-	h.Fingerprint = d.Uint64()
-	payload := d.Bytes(int(d.Uvarint()))
-	if err := d.Err(); err != nil {
-		return Header{}, nil, fmt.Errorf("checkpoint: %s: header: %w", path, ErrCorrupt)
-	}
-	if d.Len() != 0 {
-		return Header{}, nil, fmt.Errorf("checkpoint: %s: %d trailing bytes: %w", path, d.Len(), ErrCorrupt)
 	}
 	if h.Kind != kind {
 		return Header{}, nil, fmt.Errorf("checkpoint: %s: kind %q, want %q: %w", path, h.Kind, kind, ErrKind)
@@ -210,19 +330,12 @@ func ReadUnverified(path, kind string, maxVersion uint64) (Header, []byte, error
 
 // Peek reads only the header of the snapshot at path, validating magic
 // and checksum but not kind, version, or fingerprint — for status
-// displays and pre-resume inspection.
+// displays and pre-resume inspection. The payload is streamed through
+// the checksum without being retained, so Peek runs at constant memory
+// on snapshots of any size.
 func Peek(path string) (Header, error) {
-	d, err := load(path)
-	if err != nil {
-		return Header{}, err
-	}
-	h := Header{Kind: string(d.Bytes(int(d.Uvarint())))}
-	h.Version = d.Uvarint()
-	h.Fingerprint = d.Uint64()
-	if err := d.Err(); err != nil {
-		return Header{}, fmt.Errorf("checkpoint: %s: header: %w", path, ErrCorrupt)
-	}
-	return h, nil
+	h, _, err := load(path, false)
+	return h, err
 }
 
 // Enc accumulates a payload with the varint vocabulary the engines'

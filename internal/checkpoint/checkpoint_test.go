@@ -91,6 +91,7 @@ func TestRejections(t *testing.T) {
 	}{
 		{"bad magic", mutate("magic.ckpt", func(b []byte) []byte { b[0] = 'X'; return b }), h.Kind, h.Version, h.Fingerprint, ErrBadMagic},
 		{"truncated", mutate("trunc.ckpt", func(b []byte) []byte { return b[:len(b)-5] }), h.Kind, h.Version, h.Fingerprint, ErrCorrupt},
+		{"trailing garbage", mutate("trail.ckpt", func(b []byte) []byte { return append(b, 0xEE, 0xEE) }), h.Kind, h.Version, h.Fingerprint, ErrCorrupt},
 		{"bit flip", mutate("flip.ckpt", func(b []byte) []byte { b[len(b)-7] ^= 0x40; return b }), h.Kind, h.Version, h.Fingerprint, ErrCorrupt},
 		{"tiny file", mutate("tiny.ckpt", func(b []byte) []byte { return b[:3] }), h.Kind, h.Version, h.Fingerprint, ErrCorrupt},
 		{"wrong kind", path, "other.engine", h.Version, h.Fingerprint, ErrKind},

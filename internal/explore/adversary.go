@@ -72,7 +72,11 @@ func (r *Report) Adversary() (*AdversaryResult, error) {
 	for len(queue) > 0 {
 		at := queue[0]
 		queue = queue[1:]
-		for _, e := range g.edges[at] {
+		for it := g.edgeIter(at); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
 			if !g.valence[e.to].Bivalent() {
 				continue
 			}
@@ -105,7 +109,11 @@ func (r *Report) Adversary() (*AdversaryResult, error) {
 		for len(q) > 0 {
 			at := q[0]
 			q = q[1:]
-			for _, e := range g.edges[at] {
+			for it := g.edgeIter(at); ; {
+				e, ok := it.next()
+				if !ok {
+					break
+				}
 				if _, in := region[e.to]; !in {
 					continue
 				}
@@ -139,15 +147,13 @@ func (r *Report) Adversary() (*AdversaryResult, error) {
 	color := make(map[int]int, len(region))
 	type frame struct {
 		at int
-		ei int
+		it edgeIter
 	}
-	frames := []frame{{at: 0}}
+	frames := []frame{{at: 0, it: g.edgeIter(0)}}
 	color[0] = gray
 	for len(frames) > 0 {
 		f := &frames[len(frames)-1]
-		if f.ei < len(g.edges[f.at]) {
-			e := g.edges[f.at][f.ei]
-			f.ei++
+		if e, ok := f.it.next(); ok {
 			if _, in := region[e.to]; !in {
 				continue
 			}
@@ -159,7 +165,7 @@ func (r *Report) Adversary() (*AdversaryResult, error) {
 				return res, nil
 			case white:
 				color[e.to] = gray
-				frames = append(frames, frame{at: e.to})
+				frames = append(frames, frame{at: e.to, it: g.edgeIter(e.to)})
 			}
 			continue
 		}
@@ -172,7 +178,11 @@ func (r *Report) Adversary() (*AdversaryResult, error) {
 	// and acyclic).
 	for id := range region {
 		critical := true
-		for _, e := range g.edges[id] {
+		for it := g.edgeIter(id); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
 			if g.valence[e.to].Bivalent() {
 				critical = false
 				break

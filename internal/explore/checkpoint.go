@@ -189,21 +189,23 @@ func (st *search) encodeSnapshot() [][]byte {
 		buf = buf[:putStep(buf, i, g.parentE[id])]
 	}
 	st.ckptTree, st.ckptTreeN = buf, len(g.configs)
-	buf = st.ckptEdges
-	for id := st.ckptEdgeN; id < st.expanded; id++ {
-		es := g.edges[id]
-		n := len(buf)
-		rec := binary.MaxVarintLen64 + len(es)*edgeRecMax
-		buf = slices.Grow(buf, rec)[:n+rec]
-		i := putV(buf, n, int64(len(es)))
-		for _, en := range es {
-			i = putV(buf, i, int64(en.to))
-			i = putStep(buf, i, en.step)
-			i = putV(buf, i, int64(en.g))
+	if g.disk == nil {
+		buf = st.ckptEdges
+		for id := st.ckptEdgeN; id < st.expanded; id++ {
+			es := g.edges[id]
+			n := len(buf)
+			rec := binary.MaxVarintLen64 + len(es)*edgeRecMax
+			buf = slices.Grow(buf, rec)[:n+rec]
+			i := putV(buf, n, int64(len(es)))
+			for _, en := range es {
+				i = putV(buf, i, int64(en.to))
+				i = putStep(buf, i, en.step)
+				i = putV(buf, i, int64(en.g))
+			}
+			buf = buf[:i]
 		}
-		buf = buf[:i]
+		st.ckptEdges, st.ckptEdgeN = buf, st.expanded
 	}
-	st.ckptEdges, st.ckptEdgeN = buf, st.expanded
 
 	e := checkpoint.Enc{Buf: st.ckptBuf[:0]}
 	e.Byte(byte(st.opts.Symmetry))
@@ -223,6 +225,14 @@ func (st *search) encodeSnapshot() [][]byte {
 	e.Varint(st.opts.Events.Seq())
 	e.Int(len(g.configs))
 	st.ckptBuf = e.Buf
+	if d := g.disk; d != nil {
+		// The Edges arena already holds the expanded configurations'
+		// edge lists in exactly this section's encoding; serve the
+		// durable prefix zero-copy. The chunk views stay stable while
+		// the background writer reads them: later merges only append at
+		// or beyond edgeDurable.
+		return append([][]byte{e.Buf, st.ckptTree}, d.s.Edges.Sections(d.edgeDurable)...)
+	}
 	return [][]byte{e.Buf, st.ckptTree, st.ckptEdges}
 }
 
@@ -388,12 +398,18 @@ func (st *search) restore(path string) error {
 			sc.best = nc.AppendKey(sc.best[:0])
 			key = sc.best
 		}
-		if _, dup := g.ids[string(key)]; dup {
+		if _, dup := g.lookup(key); dup {
 			return corruptf("config %d: duplicate configuration in spanning tree", id)
 		}
-		g.intern(key, nc, parent, s, gi)
+		if _, err := g.intern(key, nc, parent, s, gi); err != nil {
+			return err
+		}
 	}
 	for id := 0; id < expanded; id++ {
+		// In disk mode the validated record bytes — already in the edge
+		// arena's encoding — are appended to it verbatim at the end of
+		// this iteration.
+		recStart := len(payload) - d.Len()
 		cnt := d.Int()
 		if err := d.Err(); err != nil {
 			return err
@@ -414,7 +430,16 @@ func (st *search) restore(path string) error {
 			if gi < 0 || gi >= max(order, 1) {
 				return corruptf("config %d: edge group index %d out of range", id, gi)
 			}
-			g.edges[id] = append(g.edges[id], edge{to: to, step: s, g: gi})
+			if g.disk == nil {
+				g.edges[id] = append(g.edges[id], edge{to: to, step: s, g: gi})
+			}
+		}
+		if dk := g.disk; dk != nil {
+			off, err := dk.s.Edges.Append(payload[recStart : len(payload)-d.Len()])
+			if err != nil {
+				return err
+			}
+			dk.edgeOff = append(dk.edgeOff, off)
 		}
 	}
 	if err := d.Err(); err != nil {
@@ -422,6 +447,10 @@ func (st *search) restore(path string) error {
 	}
 	if d.Len() != 0 {
 		return corruptf("%d trailing payload bytes", d.Len())
+	}
+	if dk := g.disk; dk != nil {
+		dk.edgeDurable = dk.s.Edges.Len()
+		g.spillExpanded(1, expanded)
 	}
 
 	st.level = level

@@ -27,6 +27,7 @@ func (r *Report) WriteDOT(w io.Writer, maxNodes int) error {
 		n = maxNodes
 		fmt.Fprintf(&b, "  // truncated to the first %d of %d configurations\n", n, len(g.configs))
 	}
+	var m metaRec
 	for id := 0; id < n; id++ {
 		attrs := ""
 		if len(g.valence) == len(g.configs) {
@@ -39,13 +40,18 @@ func (r *Report) WriteDOT(w io.Writer, maxNodes int) error {
 				attrs = ", style=filled, fillcolor=lightcoral"
 			}
 		}
-		if g.configs[id].Quiescent() {
+		g.metaAt(id, &m)
+		if m.quiescent() {
 			attrs += ", shape=doublecircle"
 		}
 		fmt.Fprintf(&b, "  c%d [label=\"%d\"%s];\n", id, id, attrs)
 	}
 	for from := 0; from < n; from++ {
-		for _, e := range g.edges[from] {
+		for it := g.edgeIter(from); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
 			if e.to >= n {
 				// Truncation dropped the target node; emitting the edge
 				// would reference an undeclared (dangling) node id.

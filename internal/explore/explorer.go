@@ -2,13 +2,17 @@ package explore
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"setagree/internal/machine"
 	"setagree/internal/obs"
+	"setagree/internal/spec"
+	"setagree/internal/store"
 	"setagree/internal/task"
 )
 
@@ -80,6 +84,16 @@ type Options struct {
 	// Checkpoint configures durable snapshots of the BFS (see
 	// CheckpointOptions); the zero value disables them.
 	Checkpoint CheckpointOptions
+	// Store, when enabled, spills the interning table, per-configuration
+	// outcome metadata, and the edge lists of completed BFS levels to
+	// the disk-backed configuration store (see internal/store), keeping
+	// only the active frontier hot in memory. Reports, witnesses,
+	// valency labels, DOT output, events, and checkpoint files are
+	// byte-identical to the in-memory engine at any worker count; only
+	// the store.* observability counters differ. The zero value keeps
+	// everything in memory. Callers of a disk-backed exploration own the
+	// returned Report's store and must Close it.
+	Store store.Options
 }
 
 // CheckpointOptions configures durable snapshots of an exploration.
@@ -195,20 +209,24 @@ type Report struct {
 func (r *Report) Solved() bool { return len(r.Violations) == 0 }
 
 // graph is the explored configuration graph. Configurations are
-// interned by their compact binary key (Config.AppendKey); map lookups
-// go through string(bytes), which the compiler compiles to a zero-copy
-// probe, so only fresh configurations allocate a key.
+// interned by their compact binary key (Config.AppendKey); in-memory
+// map lookups go through string(bytes), which the compiler compiles to
+// a zero-copy probe, so only fresh configurations allocate a key. With
+// a disk store (disk != nil) the ids map and edges lists are unused:
+// keys live in the store's hash table, edge lists in its Edges arena,
+// and expanded configs entries are nil after their level's spill.
 type graph struct {
 	sys     *System
 	tsk     task.Task
 	configs []*Config
 	ids     map[string]int
-	edges   [][]edge  // adjacency: edges[from]
-	parent  []int     // BFS tree: parent config id (-1 for root)
-	parentE []Step    // BFS tree: step from parent
-	valence []Valence // per-config valence, populated by valency()
-	grp     *group    // symmetry group, nil when Options.Symmetry is off
-	canon   []int     // per config: group index g with perms[g]·config canonical
+	edges   [][]edge   // adjacency: edges[from] (in-memory mode)
+	parent  []int      // BFS tree: parent config id (-1 for root)
+	parentE []Step     // BFS tree: step from parent
+	valence []Valence  // per-config valence, populated by valency()
+	grp     *group     // symmetry group, nil when Options.Symmetry is off
+	canon   []int      // per config: group index g with perms[g]·config canonical
+	disk    *diskState // disk-backed store, nil when Options.Store is off
 }
 
 type edge struct {
@@ -267,13 +285,26 @@ func newSearch(sys *System, tsk task.Task, opts *Options) (*search, *Report, err
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 
-	g := &graph{sys: sys, tsk: tsk, ids: make(map[string]int)}
+	g := &graph{sys: sys, tsk: tsk}
 	rep := &Report{g: g}
 	st := &search{g: g, rep: rep, opts: opts, frontierMax: 1, hbNext: opts.HeartbeatEvery}
 	fail := func(err error) (*search, *Report, error) {
 		rep.States = len(g.configs)
 		st.flush("explore.error", err)
+		// A failed construction leaves no graph worth walking; release
+		// the store (idempotent — callers may Close again).
+		rep.Close()
 		return nil, rep, err
+	}
+
+	if opts.Store.Enabled() {
+		s, err := store.Open(opts.Store, opts.Obs)
+		if err != nil {
+			return fail(err)
+		}
+		g.disk = &diskState{s: s}
+	} else {
+		g.ids = make(map[string]int)
 	}
 
 	root, err := initialConfig(sys)
@@ -296,7 +327,9 @@ func newSearch(sys *System, tsk task.Task, opts *Options) (*search, *Report, err
 	}
 	// Every group element stabilizes the root, so its concrete key is
 	// already canonical.
-	g.intern(root.AppendKey(nil), root, -1, Step{}, 0)
+	if _, err := g.intern(root.AppendKey(nil), root, -1, Step{}, 0); err != nil {
+		return fail(err)
+	}
 	return st, rep, nil
 }
 
@@ -352,6 +385,7 @@ type search struct {
 	hbNext      int    // next heartbeat boundary in expanded configs
 	symHits     int    // successors whose canonical key differed from their concrete key
 	orbitMax    int    // largest successor orbit seen
+	batchMax    int    // most successors merged at one level barrier
 	level       int    // completed BFS levels
 	fp          uint64 // memoized system fingerprint (see fingerprint)
 	fpSet       bool
@@ -420,6 +454,12 @@ func (st *search) bfs() error {
 			return flushCkpt(st, err)
 		}
 		st.expanded = levelEnd
+		if d := g.disk; d != nil {
+			// The Edges arena now holds exactly the records of the
+			// expanded configurations; snapshots serialize this prefix
+			// while later merges append beyond it.
+			d.edgeDurable = d.s.Edges.Len()
+		}
 		if frontier := len(g.configs) - st.expanded; frontier > st.frontierMax {
 			st.frontierMax = frontier
 		}
@@ -429,6 +469,15 @@ func (st *search) bfs() error {
 		st.heartbeat()
 		if err := st.maybeCheckpoint(); err != nil {
 			return flushCkpt(st, err)
+		}
+		if d := g.disk; d != nil {
+			// Spill after the snapshot is encoded, then hold the run to
+			// its in-memory budget — so a budget failure surfaces only
+			// after this barrier's snapshot is on its way to disk.
+			g.spillExpanded(levelStart, levelEnd)
+			if err := d.s.CheckBudget(); err != nil {
+				return flushCkpt(st, err)
+			}
 		}
 		levelStart = levelEnd
 	}
@@ -540,12 +589,17 @@ func (st *search) expandLevel(levelStart, levelEnd int) []*shardOut {
 // levels; already-interned successors cost no allocation at all, fresh
 // ones are copied into the shard arena for the merge. Under symmetry
 // the probed key is the canonical orbit minimum rather than the
-// concrete key.
+// concrete key; without it the key is spliced from the parent's
+// (see expandShardSpliced).
 func (st *search) expandShard(start, end int) *shardOut {
 	g := st.g
 	out := &shardOut{start: start, exps: make([]expansion, 0, end-start)}
 	sc := keyScratchPool.Get().(*keyScratch)
 	defer keyScratchPool.Put(sc)
+	if g.grp == nil {
+		st.expandShardSpliced(out, sc, start, end)
+		return out
+	}
 	for at := start; at < end; at++ {
 		c := g.configs[at]
 		exp := expansion{quiescent: c.Quiescent()}
@@ -561,21 +615,16 @@ func (st *search) expandShard(start, end int) *shardOut {
 			}
 			for b, nc := range nexts {
 				rec := succRec{step: steps[b], id: -1}
+				var orbit int
 				var key []byte
-				if g.grp != nil {
-					var orbit int
-					key, rec.gi, orbit = g.grp.canonical(sc, nc)
-					if orbit > out.orbitMax {
-						out.orbitMax = orbit
-					}
-					if rec.gi != 0 {
-						out.symHits++
-					}
-				} else {
-					sc.best = nc.AppendKey(sc.best[:0])
-					key = sc.best
+				key, rec.gi, orbit = g.grp.canonical(sc, nc)
+				if orbit > out.orbitMax {
+					out.orbitMax = orbit
 				}
-				if id, ok := g.ids[string(key)]; ok {
+				if rec.gi != 0 {
+					out.symHits++
+				}
+				if id, ok := g.lookup(key); ok {
 					rec.id = id
 				} else {
 					rec.cfg = nc
@@ -589,6 +638,108 @@ func (st *search) expandShard(start, end int) *shardOut {
 		out.exps = append(out.exps, exp)
 	}
 	return out
+}
+
+// expandShardSpliced is expandShard's symmetry-off fast path. A step
+// changes exactly two components of a configuration — the stepping
+// process's state and the touched object's state — and every component
+// encoding is self-delimiting, so a successor's interning key can be
+// spliced from the parent's key bytes plus the two re-encoded
+// components, without materializing the successor Config. The parent
+// key is rendered once per configuration with per-component end
+// offsets; only successors the table has never seen (the ones the
+// merge will intern) then build a real Config. Since most successors
+// at a level are duplicates, this keeps the dominant share of
+// expansion work allocation-free in both backends.
+//
+// The successor enumeration mirrors successors() exactly — same
+// ordering, same error values at the same points — so reports and
+// witnesses are unchanged.
+func (st *search) expandShardSpliced(out *shardOut, sc *keyScratch, start, end int) {
+	g := st.g
+	np := g.sys.Procs()
+	nobj := len(g.sys.Objects)
+	if cap(sc.ends) < 1+np+nobj {
+		sc.ends = make([]int, 1+np+nobj)
+	}
+	ends := sc.ends[:1+np+nobj]
+	for at := start; at < end; at++ {
+		c := g.configs[at]
+		exp := expansion{quiescent: c.Quiescent()}
+		// Parent key with component ends: the mask ends at ends[0],
+		// process i at ends[1+i], object j at ends[1+np+j].
+		pkey := sc.parent[:0]
+		pkey = binary.AppendUvarint(pkey, c.SteppedMask)
+		ends[0] = len(pkey)
+		for i := range c.Procs {
+			pkey = c.Procs[i].AppendKey(pkey)
+			ends[1+i] = len(pkey)
+		}
+		for j := range c.Objs {
+			pkey = spec.AppendStateKey(pkey, c.Objs[j])
+			ends[1+np+j] = len(pkey)
+		}
+		sc.parent = pkey
+		for i := range c.Procs {
+			if !c.Live(i) {
+				continue
+			}
+			poise, ok := machine.Poised(g.sys.Programs[i], c.Procs[i])
+			if !ok {
+				continue
+			}
+			if poise.Obj < 0 || poise.Obj >= nobj {
+				out.err = spec.BadOpError("system", poise.Op,
+					"object index "+strconv.Itoa(poise.Obj)+" out of range")
+				out.errAt = at
+				return
+			}
+			ts, err := g.sys.Objects[poise.Obj].Step(c.Objs[poise.Obj], poise.Op)
+			if err != nil {
+				out.err, out.errAt = err, at
+				return
+			}
+			for b, t := range ts {
+				ps, err := machine.Resume(g.sys.Programs[i], c.Procs[i], t.Resp)
+				if err != nil {
+					out.err, out.errAt = err, at
+					return
+				}
+				jo := poise.Obj
+				cand := sc.best[:0]
+				cand = binary.AppendUvarint(cand, c.SteppedMask|1<<uint(i))
+				cand = append(cand, pkey[ends[0]:ends[i]]...)
+				cand = ps.AppendKey(cand)
+				cand = append(cand, pkey[ends[i+1]:ends[np+jo]]...)
+				cand = spec.AppendStateKey(cand, t.Next)
+				cand = append(cand, pkey[ends[np+jo+1]:]...)
+				sc.best = cand
+				rec := succRec{
+					step: Step{Proc: i, Obj: jo, Op: poise.Op, Resp: t.Resp, Branch: b},
+					id:   -1,
+				}
+				if id, ok := g.lookup(cand); ok {
+					rec.id = id
+				} else {
+					nc := &Config{
+						Procs:       make([]machine.ProcState, len(c.Procs)),
+						Objs:        make([]spec.State, len(c.Objs)),
+						SteppedMask: c.SteppedMask | 1<<uint(i),
+					}
+					copy(nc.Procs, c.Procs)
+					copy(nc.Objs, c.Objs)
+					nc.Procs[i] = ps
+					nc.Objs[jo] = t.Next
+					rec.cfg = nc
+					rec.off = len(out.arena)
+					out.arena = append(out.arena, cand...)
+					rec.end = len(out.arena)
+				}
+				exp.succs = append(exp.succs, rec)
+			}
+		}
+		out.exps = append(out.exps, exp)
+	}
 }
 
 // mergeLevel folds the shard results into the graph single-threaded,
@@ -611,12 +762,14 @@ func (st *search) mergeLevel(outs []*shardOut) error {
 		return firstErr
 	}
 	g, rep := st.g, st.rep
+	d := g.disk
 	for _, out := range outs {
 		st.symHits += out.symHits
 		if out.orbitMax > st.orbitMax {
 			st.orbitMax = out.orbitMax
 		}
 	}
+	batch := 0
 	for _, out := range outs {
 		for rel := range out.exps {
 			exp := &out.exps[rel]
@@ -624,14 +777,24 @@ func (st *search) mergeLevel(outs []*shardOut) error {
 			if exp.quiescent {
 				rep.Quiescent++
 			}
+			batch += len(exp.succs)
+			var rec []byte
+			if d != nil {
+				rec = d.edgeRec[:0]
+			}
+			merged := 0
+			var stop error
 			for _, s := range exp.succs {
 				id, fresh := s.id, false
 				if id < 0 {
 					key := out.arena[s.off:s.end]
-					if known, ok := g.ids[string(key)]; ok {
+					if known, ok := g.lookup(key); ok {
 						id = known
 					} else {
-						id = g.intern(key, s.cfg, at, s.step, s.gi)
+						var err error
+						if id, err = g.intern(key, s.cfg, at, s.step, s.gi); err != nil {
+							return err
+						}
 						fresh = true
 					}
 				}
@@ -642,16 +805,49 @@ func (st *search) mergeLevel(outs []*shardOut) error {
 					// so D = perms[inv(s.gi) ∘ canon[id]]·R_id.
 					gi = g.grp.comp[g.grp.inv[s.gi]][g.canon[id]]
 				}
-				g.edges[at] = append(g.edges[at], edge{to: id, step: s.step, g: gi})
+				if d != nil {
+					rec = appendV(rec, int64(id))
+					rec = appendStep(rec, s.step)
+					rec = appendV(rec, int64(gi))
+				} else {
+					g.edges[at] = append(g.edges[at], edge{to: id, step: s.step, g: gi})
+				}
+				merged++
 				rep.Transitions++
 				if fresh && len(g.configs) > st.opts.MaxStates {
 					// Keep the partial report self-consistent: States must
 					// count the configurations actually interned, matching
 					// the Transitions already tallied.
-					return fmt.Errorf("explore: %d states: %w", len(g.configs), ErrStateLimit)
+					stop = fmt.Errorf("explore: %d states: %w", len(g.configs), ErrStateLimit)
+					break
 				}
 			}
+			if d != nil {
+				// One arena append per configuration — the whole edge
+				// batch, count-prefixed in the checkpoint section format
+				// — rather than one write per successor. On an aborted
+				// merge the truncated record still lands, so the partial
+				// graph matches the in-memory engine's edge for edge; it
+				// never enters a snapshot (edgeDurable only advances at
+				// completed barriers).
+				d.edgeRec = rec
+				var hdr [binary.MaxVarintLen64]byte
+				off, err := d.s.Edges.Append(hdr[:binary.PutVarint(hdr[:], int64(merged))])
+				if err == nil {
+					_, err = d.s.Edges.Append(rec)
+				}
+				if err != nil {
+					return err
+				}
+				d.edgeOff = append(d.edgeOff, off)
+			}
+			if stop != nil {
+				return stop
+			}
 		}
+	}
+	if batch > st.batchMax {
+		st.batchMax = batch
 	}
 	return nil
 }
@@ -699,6 +895,7 @@ func (st *search) flush(event string, err error) {
 		}
 		o.Gauge("explore.frontier_max").SetMax(int64(st.frontierMax))
 		o.Gauge("explore.workers").SetMax(int64(opts.Workers))
+		o.Gauge("explore.batch_size").SetMax(int64(st.batchMax))
 		if st.g.grp != nil {
 			o.Counter("explore.symmetry_hits").Add(int64(st.symHits))
 			o.Gauge("explore.orbit_size_max").SetMax(int64(st.orbitMax))
@@ -737,23 +934,6 @@ func (st *search) flush(event string, err error) {
 	}
 }
 
-// intern adds a fresh configuration under its binary key (the
-// canonical orbit key when symmetry is on; the stored configuration
-// stays concrete), recording its BFS parent and the group index gi
-// that canonicalizes it, and returns the new id. The caller has
-// already verified the key is absent; the string conversion here is
-// the single per-state key allocation.
-func (g *graph) intern(key []byte, c *Config, parent int, via Step, gi int) int {
-	id := len(g.configs)
-	g.ids[string(key)] = id
-	g.configs = append(g.configs, c)
-	g.edges = append(g.edges, nil)
-	g.parent = append(g.parent, parent)
-	g.parentE = append(g.parentE, via)
-	g.canon = append(g.canon, gi)
-	return id
-}
-
 // pathTo reconstructs the BFS schedule from the root to config id.
 func (g *graph) pathTo(id int) []Step {
 	var rev []Step
@@ -769,8 +949,10 @@ func (g *graph) pathTo(id int) []Step {
 // checkSafety evaluates the task predicate at every reachable
 // configuration and records the first violation (with witness).
 func (g *graph) checkSafety(rep *Report) {
-	for id, c := range g.configs {
-		if err := g.tsk.CheckSafety(c.Outcome(g.sys.Inputs)); err != nil {
+	var m metaRec
+	for id := range g.configs {
+		g.metaAt(id, &m)
+		if err := g.tsk.CheckSafety(m.outcome(g.sys.Inputs)); err != nil {
 			rep.Violations = append(rep.Violations, &Violation{
 				Kind:    ViolationSafety,
 				Err:     err,

@@ -31,9 +31,11 @@ func (g *graph) checkLiveness(rep *Report) {
 	// (consensus/k-set agreement and n-DAC) oblige every process, so any
 	// undecided halt is a violation.
 	reported := make([]bool, n)
-	for id, c := range g.configs {
-		for i, ps := range c.Procs {
-			if ps.Status != machine.StatusHalted || reported[i] {
+	var m metaRec
+	for id := range g.configs {
+		g.metaAt(id, &m)
+		for i := 0; i < n; i++ {
+			if m.status[i] != machine.StatusHalted || reported[i] {
 				continue
 			}
 			reported[i] = true
@@ -59,8 +61,12 @@ func (g *graph) checkLiveness(rep *Report) {
 	var sccStepping map[int]uint64
 	if !live.WaitFree && !isDAC {
 		sccStepping = make(map[int]uint64)
-		for from := range g.edges {
-			for _, e := range g.edges[from] {
+		for from := range g.configs {
+			for it := g.edgeIter(from); ; {
+				e, ok := it.next()
+				if !ok {
+					break
+				}
 				if comp[from] == comp[e.to] {
 					sccStepping[comp[from]] |= 1 << uint(e.step.Proc)
 				}
@@ -70,8 +76,12 @@ func (g *graph) checkLiveness(rep *Report) {
 
 	// Cycle-based obligations. An SCC is cyclic if it has an internal
 	// edge (size > 1, or a self loop).
-	for from := range g.edges {
-		for _, e := range g.edges[from] {
+	for from := range g.configs {
+		for it := g.edgeIter(from); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
 			if comp[from] != comp[e.to] {
 				continue
 			}
@@ -104,8 +114,9 @@ func (g *graph) checkLiveness(rep *Report) {
 				// stepper is a violation; beyond it, the run is excused.
 				crashed := 0
 				stepping := sccStepping[comp[from]]
-				for j := range g.configs[from].Procs {
-					if g.configs[from].Live(j) && stepping&(1<<uint(j)) == 0 {
+				g.metaAt(from, &m)
+				for j := 0; j < n; j++ {
+					if m.live(j) && stepping&(1<<uint(j)) == 0 {
 						crashed++
 					}
 				}
@@ -152,7 +163,11 @@ func (g *graph) soloCycle(from, to, i int, comp []int) bool {
 	for len(queue) > 0 {
 		at := queue[0]
 		queue = queue[1:]
-		for _, e := range g.edges[at] {
+		for it := g.edgeIter(at); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
 			if e.step.Proc != i || comp[e.to] != comp[at] || seen[e.to] {
 				continue
 			}
@@ -183,14 +198,18 @@ func (g *graph) cyclePath(from, to, i int, kind ViolationKind, comp []int) []Ste
 	for len(queue) > 0 {
 		at := queue[0]
 		queue = queue[1:]
-		for _, e := range g.edges[at] {
+		for it := g.edgeIter(at); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
 			if comp[e.to] != comp[at] {
 				continue
 			}
 			if soloOnly && e.step.Proc != i {
 				continue
 			}
-			if _, ok := seen[e.to]; ok {
+			if _, dup := seen[e.to]; dup {
 				continue
 			}
 			seen[e.to] = crumb{prev: at, step: e.step}
@@ -229,13 +248,13 @@ func (g *graph) sccs() []int {
 
 	type frame struct {
 		v  int
-		ei int
+		it edgeIter
 	}
 	for root := 0; root < n; root++ {
 		if index[root] != unvisited {
 			continue
 		}
-		frames := []frame{{v: root}}
+		frames := []frame{{v: root, it: g.edgeIter(root)}}
 		index[root] = next
 		low[root] = next
 		next++
@@ -244,16 +263,15 @@ func (g *graph) sccs() []int {
 
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
-			if f.ei < len(g.edges[f.v]) {
-				w := g.edges[f.v][f.ei].to
-				f.ei++
+			if e, ok := f.it.next(); ok {
+				w := e.to
 				if index[w] == unvisited {
 					index[w] = next
 					low[w] = next
 					next++
 					stack = append(stack, w)
 					onStack[w] = true
-					frames = append(frames, frame{v: w})
+					frames = append(frames, frame{v: w, it: g.edgeIter(w)})
 				} else if onStack[w] && index[w] < low[f.v] {
 					low[f.v] = index[w]
 				}

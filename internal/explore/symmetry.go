@@ -323,6 +323,10 @@ func (grp *group) checkRootStable(root *Config) error {
 type keyScratch struct {
 	best []byte
 	cand []byte
+	// Spliced-expansion scratch (symmetry off, expandShardSpliced): the
+	// parent key and its per-component end offsets.
+	parent []byte
+	ends   []int
 }
 
 var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
@@ -413,7 +417,7 @@ type stabChecker struct {
 }
 
 func (g *graph) stabilizerOf(id int) *stabChecker {
-	c := g.configs[id]
+	c := g.configAt(id)
 	return &stabChecker{
 		grp:   g.grp,
 		cfg:   c,
@@ -455,7 +459,11 @@ func (g *graph) liftedSolo(from int, en edge, comp []int) bool {
 	for len(queue) > 0 {
 		at := queue[0]
 		queue = queue[1:]
-		for _, e := range g.edges[at.v] {
+		for it := g.edgeIter(at.v); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
 			if comp[e.to] != comp[at.v] {
 				continue
 			}
@@ -501,7 +509,11 @@ func (g *graph) liftedCycle(from int, en edge, i int, soloOnly bool, comp []int)
 	for len(queue) > 0 {
 		at := queue[0]
 		queue = queue[1:]
-		for _, e := range g.edges[at.v] {
+		for it := g.edgeIter(at.v); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
 			if comp[e.to] != comp[at.v] {
 				continue
 			}

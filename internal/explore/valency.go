@@ -107,18 +107,20 @@ func (g *graph) valency() (*ValencyReport, error) {
 	masks := make([]Valence, nComp)
 
 	// Seed with immediate outcomes.
-	for id, c := range g.configs {
-		for _, ps := range c.Procs {
-			switch ps.Status {
+	var m metaRec
+	for id := range g.configs {
+		g.metaAt(id, &m)
+		for i := range m.status {
+			switch m.status[i] {
 			case machine.StatusDecided:
-				switch ps.Decision {
+				switch m.decision[i] {
 				case 0:
 					masks[comp[id]] |= CanDecide0
 				case 1:
 					masks[comp[id]] |= CanDecide1
 				default:
 					return nil, fmt.Errorf("explore: got decision %s: %w",
-						ps.Decision, ErrNotBinary)
+						m.decision[i], ErrNotBinary)
 				}
 			case machine.StatusAborted:
 				masks[comp[id]] |= CanAbort
@@ -137,7 +139,11 @@ func (g *graph) valency() (*ValencyReport, error) {
 	}
 	for ci := 0; ci < nComp; ci++ {
 		for _, id := range byComp[ci] {
-			for _, e := range g.edges[id] {
+			for it := g.edgeIter(id); ; {
+				e, ok := it.next()
+				if !ok {
+					break
+				}
 				masks[ci] |= masks[comp[e.to]]
 			}
 		}
@@ -165,13 +171,19 @@ func (g *graph) valency() (*ValencyReport, error) {
 		}
 		// Critical: bivalent with no bivalent successor.
 		critical := true
-		for _, e := range g.edges[id] {
+		deg := 0
+		for it := g.edgeIter(id); ; {
+			e, ok := it.next()
+			if !ok {
+				break
+			}
+			deg++
 			if masks[comp[e.to]].Bivalent() {
 				critical = false
 				break
 			}
 		}
-		if !critical || len(g.edges[id]) == 0 {
+		if !critical || deg == 0 {
 			continue
 		}
 		rep.CriticalCount++
@@ -189,24 +201,23 @@ func (g *graph) valency() (*ValencyReport, error) {
 // describeCritical captures the poised structure of a critical
 // configuration.
 func (g *graph) describeCritical(id int) CriticalConfig {
-	c := g.configs[id]
+	var m metaRec
+	g.metaAt(id, &m)
 	cc := CriticalConfig{
 		ID:         id,
 		Schedule:   g.pathTo(id),
-		PoisedObj:  make([]int, len(c.Procs)),
+		PoisedObj:  make([]int, len(m.poised)),
 		SameObject: true,
 	}
+	copy(cc.PoisedObj, m.poised)
 	common := -1
-	for i := range c.Procs {
-		cc.PoisedObj[i] = -1
-		poise, ok := machine.Poised(g.sys.Programs[i], c.Procs[i])
-		if !ok {
+	for _, obj := range m.poised {
+		if obj < 0 {
 			continue
 		}
-		cc.PoisedObj[i] = poise.Obj
 		if common == -1 {
-			common = poise.Obj
-		} else if poise.Obj != common {
+			common = obj
+		} else if obj != common {
 			cc.SameObject = false
 		}
 	}

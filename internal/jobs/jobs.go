@@ -72,6 +72,11 @@ var ErrUnknownJob = errors.New("jobs: unknown job")
 // already in a terminal state.
 var ErrTerminal = errors.New("jobs: job already finished")
 
+// ErrQueueFull is returned by Submit when the pending queue is at its
+// LimitPending bound. The submission is not journaled; the client
+// should back off and retry.
+var ErrQueueFull = errors.New("jobs: pending queue full")
+
 // Store is the disk-backed job table. All methods are safe for
 // concurrent use.
 type Store struct {
@@ -81,6 +86,7 @@ type Store struct {
 	journal *os.File
 	jobs    map[string]*Job
 	nextID  int
+	limit   int
 }
 
 // Open loads (or initialises) the store rooted at dir: the journal is
@@ -177,10 +183,45 @@ func (s *Store) appendLocked(j *Job, withSpec bool) error {
 	return s.journal.Sync()
 }
 
-// Submit enqueues a new job and returns its durable record.
+// LimitPending bounds the number of pending jobs Submit accepts
+// (0 = unlimited). Crash-recovered requeues are exempt: recovery never
+// drops work, so a restarted store may briefly hold more pending jobs
+// than the limit.
+func (s *Store) LimitPending(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = n
+}
+
+// QueueStats returns the current pending-job count and the Submit
+// limit (0 = unlimited).
+func (s *Store) QueueStats() (pending, limit int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingLocked(), s.limit
+}
+
+func (s *Store) pendingLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.State == Pending {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit enqueues a new job and returns its durable record. When a
+// LimitPending bound is set and the queue is at it, Submit rejects the
+// job with ErrQueueFull before journaling anything.
 func (s *Store) Submit(kind string, spec json.RawMessage) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.limit > 0 {
+		if pending := s.pendingLocked(); pending >= s.limit {
+			return Job{}, fmt.Errorf("%w: %d pending (limit %d)", ErrQueueFull, pending, s.limit)
+		}
+	}
 	j := &Job{
 		ID:      fmt.Sprintf("job-%06d", s.nextID),
 		Kind:    kind,

@@ -286,3 +286,59 @@ func TestPoolDrainRequeuesAndResumes(t *testing.T) {
 		t.Errorf("result %q, %v", res, err)
 	}
 }
+
+// TestSubmitQueueBound pins the back-pressure contract: with a
+// LimitPending bound, Submit rejects overflow with ErrQueueFull
+// (journaling nothing), claims free capacity, and crash-recovered
+// requeues are exempt from the bound.
+func TestSubmitQueueBound(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.LimitPending(2)
+
+	if _, err := s.Submit("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("k", nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Submit: %v, want ErrQueueFull", err)
+	}
+	if pending, limit := s.QueueStats(); pending != 2 || limit != 2 {
+		t.Fatalf("QueueStats = (%d, %d), want (2, 2)", pending, limit)
+	}
+	// A rejected submission must not burn an ID or a journal line.
+	if n := len(s.List()); n != 2 {
+		t.Fatalf("store holds %d jobs after rejection, want 2", n)
+	}
+
+	// Claiming frees a slot.
+	if _, ok, err := s.Claim(); err != nil || !ok {
+		t.Fatalf("Claim: %v %v", ok, err)
+	}
+	if _, err := s.Submit("k", nil); err != nil {
+		t.Fatalf("Submit after Claim: %v", err)
+	}
+
+	// Crash recovery: the orphaned running job is requeued even though
+	// the queue is already at its bound.
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.LimitPending(2)
+	if pending, _ := s2.QueueStats(); pending != 3 {
+		t.Fatalf("recovered pending = %d, want 3 (requeue exempt from bound)", pending)
+	}
+	if _, err := s2.Submit("k", nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit over recovered bound: %v, want ErrQueueFull", err)
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapChunk on platforms without the unix mmap falls back to heap-backed
+// chunks: the store still bounds per-level allocation churn, but cold
+// chunks cannot be evicted by the kernel. The file is grown alongside
+// (Truncate) so disk accounting matches; its bytes are never read back.
+func mapChunk(f *os.File, off int64, size int) ([]byte, error) {
+	return make([]byte, size), nil
+}
+
+func unmapChunk(c []byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapChunk maps size bytes of f at off read-write and shared, so
+// appended bytes reach the page cache without explicit writes and the
+// kernel may evict cold chunks under memory pressure — the mechanism
+// that makes the arena "spill".
+func mapChunk(f *os.File, off int64, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), off, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapChunk(c []byte) error {
+	return syscall.Munmap(c)
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"setagree/internal/obs"
+)
+
+func TestParseFlag(t *testing.T) {
+	cases := []struct {
+		in     string
+		dir    string
+		budget int64
+		err    bool
+	}{
+		{in: "", dir: ""},
+		{in: "run-store", dir: "run-store"},
+		{in: "run-store:1.5GB", dir: "run-store", budget: 3 << 29},
+		{in: "a/b:100", dir: "a/b", budget: 100},
+		{in: "a:2KiB", dir: "a", budget: 2048},
+		{in: "a:64M", dir: "a", budget: 64 << 20},
+		{in: "a:bogus", err: true},
+		{in: ":1GB", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseFlag(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseFlag(%q): want error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFlag(%q): %v", c.in, err)
+			continue
+		}
+		if got.Dir != c.dir || got.Budget != c.budget {
+			t.Errorf("ParseFlag(%q) = %+v, want dir %q budget %d", c.in, got, c.dir, c.budget)
+		}
+	}
+}
+
+func TestParseBudgetRejects(t *testing.T) {
+	for _, in := range []string{"", "GB", "-1", "1TB", "1.2.3MB"} {
+		if v, err := ParseBudget(in); err == nil {
+			t.Errorf("ParseBudget(%q) = %d, want error", in, v)
+		}
+	}
+}
+
+// TestArenaStraddle exercises records crossing chunk boundaries with a
+// minimum-size chunk: appends, byte reads, chunked compares, and the
+// fault counter.
+func TestArenaStraddle(t *testing.T) {
+	sink := obs.NewSink()
+	s, err := Open(Options{Dir: t.TempDir(), ChunkBytes: 1}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Keys.mask + 1; got != minChunkBytes {
+		t.Fatalf("chunk size %d, want clamped to %d", got, minChunkBytes)
+	}
+
+	var want []byte
+	rec := make([]byte, 100+19*90)
+	for i := 0; i < 20; i++ {
+		for j := range rec {
+			rec[j] = byte(i + j)
+		}
+		off, err := s.Keys.Append(rec[:100+i*90])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(len(want)) {
+			t.Fatalf("append %d: offset %d, want %d", i, off, len(want))
+		}
+		want = append(want, rec[:100+i*90]...)
+	}
+	if s.Keys.Len() != int64(len(want)) {
+		t.Fatalf("Len() = %d, want %d", s.Keys.Len(), len(want))
+	}
+	for i, b := range want {
+		if got := s.Keys.Byte(int64(i)); got != b {
+			t.Fatalf("Byte(%d) = %d, want %d", i, got, b)
+		}
+	}
+	if !s.Keys.Equal(0, want) {
+		t.Fatal("Equal over the whole straddled arena = false")
+	}
+	if s.Keys.Equal(1, want[:len(want)-1]) {
+		t.Fatal("Equal at shifted offset = true")
+	}
+	var flat []byte
+	for _, sec := range s.Keys.Sections(s.Keys.Len()) {
+		flat = append(flat, sec...)
+	}
+	if !bytes.Equal(flat, want) {
+		t.Fatal("Sections do not reassemble the arena")
+	}
+	snap := sink.Snapshot()
+	if snap.Counters["store.spilled_bytes"] != int64(len(want)) {
+		t.Fatalf("spilled_bytes = %d, want %d", snap.Counters["store.spilled_bytes"], len(want))
+	}
+	if snap.Counters["store.arena_faults"] == 0 {
+		t.Fatal("straddling appends and compares counted no arena faults")
+	}
+}
+
+func TestTableInternLookupGrow(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Enough keys to force shard growth past the initial 256 slots.
+	const n = 200000
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%d-%d", i, i*i)) }
+	for i := 0; i < n; i++ {
+		if _, ok := s.Lookup(key(i)); ok {
+			t.Fatalf("key %d present before intern", i)
+		}
+		id, err := s.Intern(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("Intern assigned id %d, want %d", id, i)
+		}
+	}
+	if s.Count() != n {
+		t.Fatalf("Count() = %d, want %d", s.Count(), n)
+	}
+	for i := 0; i < n; i++ {
+		id, ok := s.Lookup(key(i))
+		if !ok || id != i {
+			t.Fatalf("Lookup(key %d) = %d,%v", i, id, ok)
+		}
+	}
+	if _, ok := s.Lookup([]byte("absent")); ok {
+		t.Fatal("Lookup of absent key succeeded")
+	}
+	if _, err := s.Intern(nil); err == nil {
+		t.Fatal("Intern of empty key succeeded")
+	}
+}
+
+func TestCloseRemovesFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Keys.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"keys.arena", "meta.arena", "edges.arena"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("%s missing before Close: %v", name, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"keys.arena", "meta.arena", "edges.arena"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s survives Close (err %v)", name, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestOpenTruncatesLeftovers verifies crash leftovers do not leak into
+// a new run: reopening a dir starts the arenas empty.
+func TestOpenTruncatesLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "keys.arena"), bytes.Repeat([]byte("x"), 1<<16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Keys.Len() != 0 {
+		t.Fatalf("reopened arena Len() = %d, want 0", s.Keys.Len())
+	}
+}
+
+func TestCheckBudget(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), Budget: 1}, obs.NewSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.CheckBudget(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("1-byte budget: err = %v, want ErrBudget", err)
+	}
+	s.budget = 0
+	if err := s.CheckBudget(); err != nil {
+		t.Fatalf("unbounded budget: %v", err)
+	}
+}
