@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race bench bench-json bench-gate experiments
+.PHONY: verify fmt vet build test race bench bench-json bench-gate bench-schema experiments
 
-verify: fmt vet build test race bench-gate
+verify: fmt vet build test race bench-gate bench-schema
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -90,7 +90,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=7/store' -benchtime 2x . > .bench_store.txt
 	jq -n --rawfile bench .bench_store.txt -f bench_store.jq > BENCH_store.json
 	rm -f .bench_store.txt
-	@echo "wrote BENCH_explore.json BENCH_experiments.json BENCH_checkpoint.json BENCH_store.json"
+	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=7/obs' -benchtime 2x -count 6 . > .bench_obs.txt
+	jq -n --rawfile bench .bench_obs.txt --arg date "$$(date +%Y-%m-%d)" -f bench_obs.jq > BENCH_obs.json
+	rm -f .bench_obs.txt
+	@echo "wrote BENCH_explore.json BENCH_experiments.json BENCH_checkpoint.json BENCH_store.json BENCH_obs.json"
 
 # bench-gate is verify's throughput regression guard: one full alg2
 # n=7 exploration (~285k configurations) must hold at least 90% of the
@@ -109,6 +112,16 @@ bench-gate:
 		|| { echo "bench-gate: explore.states_per_sec $$(jq '.rates."explore.states_per_sec"' .bench_gate.json) fell below 90% of baseline $(BASELINE_STATES_PER_SEC)"; rm -f .bench_gate.json; exit 1; }
 	@echo "bench-gate: $$(jq '.rates."explore.states_per_sec"' .bench_gate.json) states/sec (baseline $(BASELINE_STATES_PER_SEC))"
 	@rm -f .bench_gate.json
+
+# bench-schema is verify's evidence-file guard: BENCH_obs.json (the
+# committed instrumentation-overhead measurement, regenerated by
+# bench-json) must carry a plausible level-latency histogram — positive
+# quantiles in the right order — and both bench rows, so the /metrics
+# quantile pipeline can't silently rot out of the evidence.
+bench-schema:
+	@jq -e '.threshold_percent == 2 and (.results | length) == 2 and .histogram.level_count_per_op > 0 and .histogram.level_p50_ns > 0 and .histogram.level_p99_ns >= .histogram.level_p50_ns' BENCH_obs.json > /dev/null \
+		|| { echo "bench-schema: BENCH_obs.json missing or has implausible histogram fields"; exit 1; }
+	@echo "bench-schema: BENCH_obs.json ok ($$(jq -r .verdict BENCH_obs.json | cut -c1-40)...)"
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,53 @@
+# Builds BENCH_obs.json (see Makefile bench-json). Input arrives as
+# --rawfile bench: the obs-dimension rows of BenchmarkModelCheckDAC
+# (alg2 n=7 at -workers 1, metrics off vs on, -count repetitions of
+# each on the identical instance).
+#
+# The measurement is the instrumentation tax of the live-operations
+# surface: the "on" row runs with a full obs.Sink attached — atomic
+# counters and gauges flushed once per run, plus the per-level
+# explore.level_ns histogram (one clock read + one atomic add per BFS
+# level), the heaviest hook the dacd /metrics endpoint relies on. The
+# "off" row passes a nil sink, so every handle is a nil no-op — the
+# zero-cost-when-disabled claim. The estimator is the minimum ns/op
+# across the -count runs of each row (noise-robust on a shared host,
+# same methodology as the original BENCH_obs.json sweep measurement);
+# the evidence target is an on-vs-off delta under 2%. The on row's
+# histogram quantiles ride along as schema evidence that the quantile
+# pipeline produces plausible values end to end (verify's bench-schema
+# gate checks them without rerunning the bench).
+
+# Row names may carry go test's -GOMAXPROCS suffix on multi-core hosts.
+def rows(name):
+  $bench | split("\n") | map(select(test("/obs=" + name + "(-\\d+)?\\s")));
+def nsops(name):
+  rows(name) | map(capture("\\s(?<ns>[0-9.]+) ns/op") | (.ns | tonumber));
+def metric(name; m):
+  rows(name) | map(capture("\\s(?<v>[0-9.eE+-]+) " + m) | (.v | tonumber)) | max;
+
+(nsops("off") | min) as $off |
+(nsops("on") | min) as $on |
+(($on - $off) / $off * 100) as $delta |
+{
+  benchmark: "BenchmarkModelCheckDAC/n=7/obs={off,on}",
+  question: "do the obs hooks (atomic counters/gauges flushed once per run, plus the per-level explore.level_ns latency histogram behind /metrics) add measurable cost to an exploration?",
+  methodology: "one binary, obs=off (nil sink; all handles nil no-ops) vs obs=on (live sink + level histogram), interleaved by go test -count; min ns/op per row is the noise-robust estimator",
+  date: $date,
+  workload: "alg2 n=7, -workers 1 (~284k configurations per op)",
+  threshold_percent: 2,
+  results: [
+    { case: "obs=off", min_ns_op: $off, runs_ns_op: nsops("off") },
+    { case: "obs=on",  min_ns_op: $on,  runs_ns_op: nsops("on"),
+      delta_percent: ($delta * 100 | round / 100) }
+  ],
+  histogram: {
+    level_count_per_op: metric("on"; "levels/op"),
+    level_p50_ns: metric("on"; "level_p50_ns"),
+    level_p99_ns: metric("on"; "level_p99_ns")
+  },
+  verdict: (if $delta < 2
+    then "PASS — instrumentation delta \($delta * 100 | round / 100)% stays under the 2% budget"
+    else "FAIL — instrumentation delta \($delta * 100 | round / 100)% exceeds the 2% budget"
+    end),
+  raw_rows: ($bench | split("\n") | map(select(contains("/obs="))))
+}

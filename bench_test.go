@@ -259,6 +259,56 @@ func BenchmarkModelCheckDAC(b *testing.B) {
 			benchModelCheckDACStore(b, 7, sim.Inputs(7, 1, 0), so)
 		})
 	}
+	// The obs rows measure the instrumentation tax directly: the same
+	// n=7 instance with metrics disabled (nil sink — every counter,
+	// gauge, and histogram handle is a nil no-op) and enabled (a live
+	// sink, whose per-level explore.level_ns histogram is the heaviest
+	// hook added for the dacd ops surface). BENCH_obs.json (make
+	// bench-json) takes the min ns/op over -count runs per row and
+	// requires the on-vs-off delta under 2%; the on row also exports
+	// the histogram's quantiles, which verify's schema gate checks.
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		on := on
+		b.Run(fmt.Sprintf("n=7/obs=%s", name), func(b *testing.B) {
+			benchModelCheckDACObs(b, 7, sim.Inputs(7, 1, 0), on)
+		})
+	}
+}
+
+// benchModelCheckDACObs is the instrumentation-dimension variant: the
+// exploration with and without a metrics sink attached, reporting the
+// level-latency histogram when instrumented.
+func benchModelCheckDACObs(b *testing.B, n int, inputs []value.Value, instrumented bool) {
+	prot := programs.Algorithm2(n, 1)
+	var sink *obs.Sink // nil disables every obs hook in the engine
+	if instrumented {
+		sink = obs.NewSink()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := prot.System(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := explore.Check(sys, task.DAC{N: n, P: 0},
+			explore.Options{Obs: sink, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Solved() {
+			b.Fatal(rep.Violations[0])
+		}
+	}
+	if instrumented {
+		h := sink.Snapshot().Histograms["explore.level_ns"]
+		b.ReportMetric(float64(h.Count)/float64(b.N), "levels/op")
+		b.ReportMetric(float64(h.P50), "level_p50_ns")
+		b.ReportMetric(float64(h.P99), "level_p99_ns")
+	}
 }
 
 // benchModelCheckDACStore is the store-dimension variant: same

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"setagree/internal/jobs"
+)
+
+// TestArchiveKill9E2E is the bounded-journal acceptance test: run a
+// daemon with aggressive archival (age 0, tiny journal bound, fast
+// sweeps), finish jobs until they are gzipped out of the hot store,
+// kill -9 the daemon, restart on the same data directory, and require
+// every archived job to still be listed Done with its result, events,
+// and DOT readable through the API — while the hot directories stay
+// gone and the journal stays compacted.
+func TestArchiveKill9E2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	dataDir := t.TempDir()
+	archiveDir := filepath.Join(dataDir, "archive")
+	archiveArgs := []string{
+		"-archive", archiveDir,
+		"-archive-age", "0s",
+		"-archive-sweep", "100ms",
+		"-journal-max", "256",
+	}
+	d := startDaemon(t, dataDir, archiveArgs...)
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		job := submitExplore(t, d.base, map[string]any{
+			"protocol": "alg2", "n": 3, "p": 1, "dot": true, "heartbeat_every": 64,
+		})
+		ids = append(ids, job.ID)
+		waitJob(t, d.base, job.ID, jobs.Done, 60*time.Second)
+	}
+
+	// Wait for the sweeps to evict all three.
+	waitArchived := func(base string) listResponse {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(base + "/jobs")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var list listResponse
+			if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			archived := 0
+			for _, j := range list.Jobs {
+				if j.Archived {
+					archived++
+				}
+			}
+			if archived == len(ids) {
+				return list
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("only %d/%d jobs archived in time", archived, len(ids))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	list := waitArchived(d.base)
+	if list.ArchiveBytes <= 0 {
+		t.Errorf("archive_bytes = %d after archival", list.ArchiveBytes)
+	}
+
+	// kill -9: archival state must be fully recoverable from disk.
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+
+	d2 := startDaemon(t, dataDir, archiveArgs...)
+	list = waitArchived(d2.base)
+	if len(list.Jobs) != len(ids) {
+		t.Fatalf("restarted daemon lists %d jobs, want %d", len(list.Jobs), len(ids))
+	}
+	for _, j := range list.Jobs {
+		if j.State != jobs.Done || !j.Archived {
+			t.Errorf("job %s after restart: state=%s archived=%v", j.ID, j.State, j.Archived)
+		}
+	}
+	for _, id := range ids {
+		res := getResult(t, d2.base, id)
+		if res.Verdict != "solved" {
+			t.Errorf("archived job %s verdict %q after restart", id, res.Verdict)
+		}
+		// SSE replay of an archived stream must still deliver the full
+		// event log and the done frame.
+		resp, err := http.Get(d2.base + "/jobs/" + id + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := readUntilDone(t, resp)
+		if !strings.Contains(stream, `"event":"explore.done"`) {
+			t.Errorf("archived SSE replay of %s missing explore.done", id)
+		}
+		dresp, err := http.Get(d2.base + "/jobs/" + id + "/dot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusOK {
+			t.Errorf("archived DOT fetch of %s: %s", id, dresp.Status)
+		}
+		// The hot directory stays evicted; the archive carries the data.
+		if _, err := os.Stat(filepath.Join(dataDir, "jobs", id)); !os.IsNotExist(err) {
+			t.Errorf("hot dir of archived job %s reappeared: %v", id, err)
+		}
+		if _, err := os.Stat(filepath.Join(archiveDir, id, "events.jsonl.gz")); err != nil {
+			t.Errorf("archive of %s missing events: %v", id, err)
+		}
+	}
+	// Compaction holds the journal to one line per job (plus any
+	// post-compaction appends before the next sweep).
+	buf, err := os.ReadFile(filepath.Join(dataDir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(buf), "\n"); lines > 2*len(ids) {
+		t.Errorf("journal has %d lines for %d jobs after compaction", lines, len(ids))
+	}
+
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Errorf("daemon exited uncleanly after SIGTERM: %v", err)
+	}
+}
+
+// readUntilDone drains an SSE response until its done frame (or EOF)
+// and returns everything read.
+func readUntilDone(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if strings.Contains(sb.String(), "event: done") || err != nil {
+			return sb.String()
+		}
+	}
+	t.Fatal("SSE stream never reached done frame")
+	return ""
+}

@@ -148,7 +148,7 @@ func TestServerAPI(t *testing.T) {
 	}
 	defer store.Close()
 	pool := jobs.NewPool(store, 1, map[string]jobs.Runner{"explore": runExploreJob})
-	ts := httptest.NewServer(newServer(store, pool))
+	ts := httptest.NewServer(newServer(store, pool, serverOptions{}))
 	defer ts.Close()
 	defer pool.Drain(context.Background())
 
@@ -242,12 +242,16 @@ type daemon struct {
 	base string
 }
 
-func startDaemon(t *testing.T, dataDir string) *daemon {
+func startDaemon(t *testing.T, dataDir string, extraArgs ...string) *daemon {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
+	args := "-addr 127.0.0.1:0 -data " + dataDir + " -job-workers 1"
+	if len(extraArgs) > 0 {
+		args += " " + strings.Join(extraArgs, " ")
+	}
 	cmd.Env = append(os.Environ(),
 		"DACD_CHILD=1",
-		"DACD_ARGS=-addr 127.0.0.1:0 -data "+dataDir+" -job-workers 1")
+		"DACD_ARGS="+args)
 	out, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -34,7 +34,7 @@ func TestSubmitBackpressure(t *testing.T) {
 			return []byte(`{}`), nil
 		},
 	})
-	ts := httptest.NewServer(newServer(store, pool))
+	ts := httptest.NewServer(newServer(store, pool, serverOptions{}))
 	defer ts.Close()
 	defer pool.Drain(context.Background())
 	defer close(release)
@@ -97,7 +97,7 @@ func TestExploreJobDiskStore(t *testing.T) {
 	}
 	defer store.Close()
 	pool := jobs.NewPool(store, 1, map[string]jobs.Runner{"explore": runExploreJob})
-	ts := httptest.NewServer(newServer(store, pool))
+	ts := httptest.NewServer(newServer(store, pool, serverOptions{}))
 	defer ts.Close()
 	defer pool.Drain(context.Background())
 

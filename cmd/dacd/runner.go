@@ -52,6 +52,12 @@ type exploreSpec struct {
 	// -store budget syntax (e.g. "1.5GB"); exceeding it fails the job at
 	// a level barrier after a final checkpoint. Empty means no bound.
 	StoreBudget string `json:"store_budget,omitempty"`
+	// Dot renders the explored graph to graph.dot in the job directory
+	// after the run, served by GET /jobs/{id}/dot (and archived with
+	// the job).
+	Dot bool `json:"dot,omitempty"`
+	// DotMaxNodes caps the DOT rendering (0 = 256 nodes).
+	DotMaxNodes int `json:"dot_max_nodes,omitempty"`
 }
 
 // exploreResult is the result document of a finished explore job. The
@@ -69,8 +75,22 @@ type exploreResult struct {
 	ElapsedNs   int64    `json:"elapsed_ns"`
 }
 
-// runExploreJob is the jobs.Runner for kind "explore".
+// exploreRunner returns the jobs.Runner for kind "explore" with each
+// run's metrics sink attached to reg, so /metrics aggregates every
+// job's counters and latency histograms — running and finished alike.
+func exploreRunner(reg *obs.Registry) jobs.Runner {
+	return func(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte, error) {
+		return runExploreJobWith(ctx, store, job, reg)
+	}
+}
+
+// runExploreJob is the registry-less jobs.Runner for kind "explore"
+// (the in-process tests use it directly).
 func runExploreJob(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte, error) {
+	return runExploreJobWith(ctx, store, job, nil)
+}
+
+func runExploreJobWith(ctx context.Context, store *jobs.Store, job jobs.Job, reg *obs.Registry) ([]byte, error) {
 	var sp exploreSpec
 	if err := json.Unmarshal(job.Spec, &sp); err != nil {
 		return nil, fmt.Errorf("bad spec: %w", err)
@@ -120,13 +140,21 @@ func runExploreJob(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte
 	defer ef.Close()
 	emitter := obs.NewEmitter(ef)
 
+	// A registry-attached sink makes the run visible to /metrics while
+	// it executes; releasing it folds the final totals into the
+	// registry's retired accumulator when the run ends.
+	sink := reg.Attach()
+	if sink == nil {
+		sink = obs.NewSink()
+	}
+	defer reg.Release(sink)
 	opts := explore.Options{
 		Valency:        sp.Valency,
 		MaxStates:      sp.MaxStates,
 		Workers:        sp.Workers,
 		HeartbeatEvery: sp.HeartbeatEvery,
 		Symmetry:       symMode,
-		Obs:            obs.NewSink(),
+		Obs:            sink,
 		Events:         emitter,
 		Ctx:            ctx,
 		Checkpoint: explore.CheckpointOptions{
@@ -190,6 +218,23 @@ func runExploreJob(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte
 	}
 	if err := emitter.Sync(); err != nil {
 		return nil, fmt.Errorf("event stream: %w", err)
+	}
+	if sp.Dot {
+		maxNodes := sp.DotMaxNodes
+		if maxNodes == 0 {
+			maxNodes = 256
+		}
+		df, err := os.Create(filepath.Join(store.Dir(job.ID), "graph.dot"))
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.WriteDOT(df, maxNodes); err != nil {
+			df.Close()
+			return nil, fmt.Errorf("dot: %w", err)
+		}
+		if err := df.Close(); err != nil {
+			return nil, err
+		}
 	}
 	res := exploreResult{
 		Verdict:     verdict,

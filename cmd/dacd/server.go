@@ -2,34 +2,113 @@ package main
 
 import (
 	"bytes"
+	"embed"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
-	"os"
+	"net/http/pprof"
 	"time"
 
 	"setagree/internal/jobs"
+	"setagree/internal/obs"
 )
 
-// server is dacd's HTTP surface. Every response body is JSON except
-// the SSE event stream.
-type server struct {
-	store *jobs.Store
-	pool  *jobs.Pool
-	mux   *http.ServeMux
+//go:embed web
+var webFS embed.FS
+
+// serverOptions configures the operational surface of the HTTP server.
+// The zero value serves the full API with self-contained metrics, a
+// 15-second SSE keepalive, and no profiler.
+type serverOptions struct {
+	// Registry aggregates metrics across job sinks; nil makes the
+	// server create a private one (its HTTP metrics still export).
+	Registry *obs.Registry
+	// Pprof mounts net/http/pprof under GET /debug/pprof/.
+	Pprof bool
+	// KeepAlive is the idle cadence of SSE comment frames (`: keepalive`)
+	// that hold proxies and dead-peer detection open on quiet streams.
+	// 0 means the 15-second default; negative disables.
+	KeepAlive time.Duration
 }
 
-func newServer(store *jobs.Store, pool *jobs.Pool) *server {
-	s := &server{store: store, pool: pool, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.healthz)
-	s.mux.HandleFunc("POST /jobs", s.submit)
-	s.mux.HandleFunc("GET /jobs", s.list)
-	s.mux.HandleFunc("GET /jobs/{id}", s.get)
-	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
-	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
-	s.mux.HandleFunc("GET /jobs/{id}/events", s.events)
+const defaultKeepAlive = 15 * time.Second
+
+// server is dacd's HTTP surface. Every response body is JSON except
+// the SSE event stream, GET /metrics (Prometheus text), GET /jobs/{id}/dot
+// (Graphviz), and the embedded dashboard under GET /.
+type server struct {
+	store     *jobs.Store
+	pool      *jobs.Pool
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	sink      *obs.Sink // server-lifetime sink for HTTP metrics
+	keepAlive time.Duration
+}
+
+func newServer(store *jobs.Store, pool *jobs.Pool, opts serverOptions) *server {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ka := opts.KeepAlive
+	if ka == 0 {
+		ka = defaultKeepAlive
+	}
+	s := &server{
+		store:     store,
+		pool:      pool,
+		mux:       http.NewServeMux(),
+		reg:       reg,
+		sink:      reg.Attach(),
+		keepAlive: ka,
+	}
+	s.handle("GET /healthz", s.healthz, true)
+	s.handle("POST /jobs", s.submit, true)
+	s.handle("GET /jobs", s.list, true)
+	s.handle("GET /jobs/{id}", s.get, true)
+	s.handle("POST /jobs/{id}/cancel", s.cancel, true)
+	s.handle("GET /jobs/{id}/result", s.result, true)
+	s.handle("GET /jobs/{id}/dot", s.dot, true)
+	// The SSE stream lives as long as the job: counted, never timed
+	// (it would dominate the latency histogram with stream lifetimes).
+	s.handle("GET /jobs/{id}/events", s.events, false)
+	s.handle("GET /metrics", s.metrics, true)
+
+	// Dashboard: one embedded page, no build step. "/{$}" is exact, so
+	// unknown paths still 404 instead of serving the index.
+	s.handle("GET /{$}", s.index, true)
+	static, err := fs.Sub(webFS, "web")
+	if err != nil {
+		panic(err) // embed layout is fixed at compile time
+	}
+	s.mux.Handle("GET /static/", http.StripPrefix("/static/", http.FileServerFS(static)))
+
+	if opts.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// handle registers h with a per-route request counter and (for timed
+// routes) the shared latency histogram. The route label is the pattern
+// string itself, captured here at registration so the hot path is one
+// map-free counter add.
+func (s *server) handle(pattern string, h http.HandlerFunc, timed bool) {
+	requests := s.sink.Counter(httpRequestsPrefix + pattern)
+	latency := s.sink.Histogram(httpLatencyName)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		if timed {
+			defer latency.Start()()
+		}
+		h(w, r)
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -50,6 +129,34 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": len(s.store.List())})
+}
+
+func (s *server) index(w http.ResponseWriter, r *http.Request) {
+	buf, err := webFS.ReadFile("web/index.html")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(buf)
+}
+
+// metrics serves the Prometheus text exposition of everything the
+// registry has seen (live jobs, finished jobs, the server itself) plus
+// the job table, queue occupancy, and on-disk footprint.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	pending, limit := s.store.QueueStats()
+	st := serverStats{
+		Pending:    pending,
+		MaxPending: limit,
+		States:     make(map[jobs.State]int),
+	}
+	for _, j := range s.store.List() {
+		st.States[j.State]++
+	}
+	st.JournalBytes, st.ArchiveBytes = s.store.Sizes()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	renderMetrics(w, s.reg.Gather(), st)
 }
 
 // submitRequest is the POST /jobs body: a runner kind and its spec.
@@ -83,17 +190,27 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
-// listResponse is the GET /jobs body: the job table plus the queue's
-// occupancy and Submit bound (max_pending 0 = unlimited).
+// listResponse is the GET /jobs body: the job table, the queue's
+// occupancy and Submit bound (max_pending 0 = unlimited), and the
+// on-disk footprint (journal plus gzipped archive) the sweeps bound.
 type listResponse struct {
-	Jobs       []jobs.Job `json:"jobs"`
-	Pending    int        `json:"pending"`
-	MaxPending int        `json:"max_pending"`
+	Jobs         []jobs.Job `json:"jobs"`
+	Pending      int        `json:"pending"`
+	MaxPending   int        `json:"max_pending"`
+	JournalBytes int64      `json:"journal_bytes"`
+	ArchiveBytes int64      `json:"archive_bytes"`
 }
 
 func (s *server) list(w http.ResponseWriter, r *http.Request) {
 	pending, limit := s.store.QueueStats()
-	writeJSON(w, http.StatusOK, listResponse{Jobs: s.store.List(), Pending: pending, MaxPending: limit})
+	journal, archive := s.store.Sizes()
+	writeJSON(w, http.StatusOK, listResponse{
+		Jobs:         s.store.List(),
+		Pending:      pending,
+		MaxPending:   limit,
+		JournalBytes: journal,
+		ArchiveBytes: archive,
+	})
 }
 
 func (s *server) get(w http.ResponseWriter, r *http.Request) {
@@ -138,12 +255,32 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 	w.Write(res)
 }
 
+// dot serves the Graphviz rendering a job produced (spec {"dot":true});
+// jobs without one 404. Archived jobs decompress transparently.
+func (s *server) dot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.store.Get(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	buf, err := s.store.ReadJobFile(id, "graph.dot")
+	if err != nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s has no DOT rendering (submit with \"dot\": true): %w", id, err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+	w.Write(buf)
+}
+
 // events streams the job's JSONL event file over Server-Sent Events:
 // each complete line becomes one `data:` frame, tailed live while the
 // job runs. The stream ends with an `event: done` frame carrying the
 // job's terminal state once the job finishes and the file is drained
 // (a resumed job's stream picks up exactly where the checkpoint left
-// it — trimmed overshoot lines are re-sent by the resumed run).
+// it — trimmed overshoot lines are re-sent by the resumed run). Idle
+// streams carry a `: keepalive` comment frame on the configured
+// cadence so intermediaries don't reap quiet connections.
 func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, err := s.store.Get(id); err != nil {
@@ -157,24 +294,33 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
+	// Tell buffering reverse proxies (nginx et al.) to pass frames
+	// through as they are written.
+	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	path := s.store.EventsPath(id)
 	var off int64
+	lastWrite := time.Now()
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
 	for {
-		n, sent := s.sendFrom(w, path, off)
+		n, sent := s.sendFrom(w, id, off)
 		off = n
 		if sent {
 			flusher.Flush()
+			lastWrite = time.Now()
 		}
 		job, err := s.store.Get(id)
 		if err == nil && job.State.Terminal() && !sent {
 			fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", job.State)
 			flusher.Flush()
 			return
+		}
+		if s.keepAlive > 0 && time.Since(lastWrite) >= s.keepAlive {
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+			lastWrite = time.Now()
 		}
 		select {
 		case <-r.Context().Done():
@@ -187,9 +333,10 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 // sendFrom writes every complete JSONL line at or beyond byte offset
 // off as an SSE data frame and returns the new offset and whether
 // anything was sent. Partial trailing lines stay unsent until their
-// newline lands.
-func (s *server) sendFrom(w http.ResponseWriter, path string, off int64) (int64, bool) {
-	buf, err := os.ReadFile(path)
+// newline lands. Reads go through the store, so a stream whose job is
+// archived mid-tail keeps serving from the compressed copy.
+func (s *server) sendFrom(w http.ResponseWriter, id string, off int64) (int64, bool) {
+	buf, err := s.store.ReadEvents(id)
 	if err != nil {
 		return off, false
 	}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"setagree/internal/machine"
 	"setagree/internal/obs"
@@ -61,8 +62,12 @@ type Options struct {
 	// gauge (level-granular: the unexpanded remainder measured at each
 	// level barrier), and the explore.workers gauge. Counter values
 	// depend only on the explored graph, never on scheduling or wall
-	// time, so identical runs produce identical metrics. Nil disables
-	// metrics at zero cost.
+	// time, so identical runs produce identical metrics. The sink also
+	// receives the explore.level_ns histogram — per-level expansion
+	// latency (expand + merge wall time at each BFS barrier), the
+	// daemon's live-operations signal — which, like Timers, is wall
+	// time and excluded from determinism claims. Nil disables metrics
+	// at zero cost.
 	Obs *obs.Sink
 	// Events, when set, receives structured JSONL events: a periodic
 	// explore.heartbeat while the BFS runs and exactly one terminal
@@ -288,6 +293,12 @@ func newSearch(sys *System, tsk task.Task, opts *Options) (*search, *Report, err
 	g := &graph{sys: sys, tsk: tsk}
 	rep := &Report{g: g}
 	st := &search{g: g, rep: rep, opts: opts, frontierMax: 1, hbNext: opts.HeartbeatEvery}
+	if opts.Obs != nil {
+		// Resolved once here so both Check and Resume record per-level
+		// latency; nil when metrics are off, costing the loop one nil
+		// check per level.
+		st.levelHist = opts.Obs.Histogram("explore.level_ns")
+	}
 	fail := func(err error) (*search, *Report, error) {
 		rep.States = len(g.configs)
 		st.flush("explore.error", err)
@@ -400,6 +411,10 @@ type search struct {
 	ckptEdgeN int
 	ckptBuf   []byte
 
+	// levelHist, when metrics are enabled, receives each level's
+	// expand+merge wall time (the explore.level_ns histogram).
+	levelHist *obs.Histogram
+
 	// Result channel of the in-flight background snapshot write; nil
 	// when none. See writeCheckpoint/ckptWait.
 	ckptPending chan error
@@ -449,9 +464,16 @@ func (st *search) bfs() error {
 			return flushCkpt(st, err)
 		}
 		levelEnd := len(g.configs)
+		var levelT0 time.Time
+		if st.levelHist != nil {
+			levelT0 = time.Now()
+		}
 		outs := st.expandLevel(levelStart, levelEnd)
 		if err := st.mergeLevel(outs); err != nil {
 			return flushCkpt(st, err)
+		}
+		if st.levelHist != nil {
+			st.levelHist.ObserveDuration(time.Since(levelT0))
 		}
 		st.expanded = levelEnd
 		if d := g.disk; d != nil {

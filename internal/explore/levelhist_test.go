@@ -1,0 +1,44 @@
+package explore_test
+
+import (
+	"testing"
+
+	"setagree/internal/explore"
+	"setagree/internal/obs"
+	"setagree/internal/programs"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// TestLevelLatencyHistogram pins the explorer's per-level latency hook:
+// a sinked run records one explore.level_ns observation per completed
+// BFS level, and an unsinked run stays unobserved (the nil-safe path).
+func TestLevelLatencyHistogram(t *testing.T) {
+	t.Parallel()
+	prot := programs.Algorithm2(3, 1)
+	sys, err := prot.System([]value.Value{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewSink()
+	rep, err := explore.Check(sys, task.DAC{N: 3, P: 0}, explore.Options{Obs: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved() {
+		t.Fatal(rep.Violations[0])
+	}
+	h := sink.Snapshot().Histograms["explore.level_ns"]
+	if h.Count == 0 {
+		t.Fatal("no explore.level_ns observations recorded")
+	}
+	// One observation per level: the deepest schedule bounds the level
+	// count, and every level is observed exactly once, so the count is
+	// strictly below the state count and above zero.
+	if h.Count >= int64(rep.States) {
+		t.Errorf("level_ns count %d >= states %d: not per-level", h.Count, rep.States)
+	}
+	if h.P50 <= 0 || h.P99 < h.P50 {
+		t.Errorf("implausible quantiles: p50=%d p99=%d", h.P50, h.P99)
+	}
+}

@@ -60,6 +60,10 @@ type Job struct {
 	// attempt > 1 means the job was resumed after a crash, drain, or
 	// requeue.
 	Attempt int `json:"attempt,omitempty"`
+	// Archived marks a finished job whose payloads were gzipped into
+	// the archive directory and whose hot working directory was
+	// removed (see ArchivePolicy). Reads fall back transparently.
+	Archived bool `json:"archived,omitempty"`
 	// Updated is the wall time of the last recorded transition.
 	Updated time.Time `json:"updated"`
 }
@@ -87,6 +91,9 @@ type Store struct {
 	jobs    map[string]*Job
 	nextID  int
 	limit   int
+
+	archive      ArchivePolicy
+	archiveBytes int64
 }
 
 // Open loads (or initialises) the store rooted at dir: the journal is
@@ -362,7 +369,7 @@ func (s *Store) WriteResult(id string, result []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// ReadResult returns the job's result document.
+// ReadResult returns the job's result document, hot or archived.
 func (s *Store) ReadResult(id string) ([]byte, error) {
-	return os.ReadFile(s.ResultPath(id))
+	return s.ReadJobFile(id, "result.json")
 }

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 buckets a Histogram carries: bucket
+// 0 holds observations <= 0, bucket i (1 <= i < histBuckets) holds
+// observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i.
+// Every non-negative int64 lands in exactly one bucket.
+const histBuckets = 64
+
+// Histogram is a lock-free log-bucketed distribution of int64
+// observations (latencies in nanoseconds, batch sizes, ...). Updates
+// are single atomic increments, so concurrent jobs can share one
+// histogram without contention beyond the cache line; snapshots are
+// mergeable bucket-wise, which is how the Registry aggregates
+// histograms across sinks. Quantile estimates are bucket upper bounds,
+// so they are exact to within a factor of 2 — the right resolution for
+// "did p99 latency blow up", not for microbenchmarks. The zero value is
+// ready to use; a nil *Histogram discards observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to 0. No-op on a
+// nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// ObserveDuration records d in nanoseconds. No-op on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Start begins timing and returns a stop function recording the
+// elapsed nanoseconds when called. Safe on a nil receiver.
+func (h *Histogram) Start() func() {
+	if h == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { h.Observe(int64(time.Since(start))) }
+}
+
+// Count returns the number of observations (0 for a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the accumulated value (0 for a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramBucket is one occupied log2 bucket of a HistogramSnapshot:
+// Count observations in [2^(Bit-1), 2^Bit) (Bit 0: values <= 0).
+type HistogramBucket struct {
+	Bit   int   `json:"bit"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the exported state of one Histogram: totals,
+// the occupied buckets in ascending Bit order (zero buckets omitted),
+// and the derived p50/p90/p99 quantile estimates.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	P50     int64             `json:"p50"`
+	P90     int64             `json:"p90"`
+	P99     int64             `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. The copy is not
+// atomic across buckets — concurrent observations may straddle it —
+// but every recorded observation lands in exactly one snapshot of a
+// quiesced histogram, which is what report generation needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for bit := range h.buckets {
+		if n := h.buckets[bit].Load(); n > 0 {
+			snap.Buckets = append(snap.Buckets, HistogramBucket{Bit: bit, Count: n})
+		}
+	}
+	snap.refreshQuantiles()
+	return snap
+}
+
+// bucketUpper is the largest value bucket bit can hold.
+func bucketUpper(bit int) int64 {
+	if bit <= 0 {
+		return 0
+	}
+	if bit >= 63 {
+		return math.MaxInt64
+	}
+	return (int64(1) << bit) - 1
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the ceil(q*count)-th smallest observation.
+func (s *HistogramSnapshot) quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return bucketUpper(b.Bit)
+		}
+	}
+	return bucketUpper(s.Buckets[len(s.Buckets)-1].Bit)
+}
+
+// refreshQuantiles recomputes the exported quantile estimates from the
+// bucket counts (after a snapshot or a merge).
+func (s *HistogramSnapshot) refreshQuantiles() {
+	s.P50 = s.quantile(0.50)
+	s.P90 = s.quantile(0.90)
+	s.P99 = s.quantile(0.99)
+}
+
+// Merge folds o's observations into s bucket-wise and refreshes the
+// quantile estimates, keeping buckets sorted by Bit. This is how the
+// Registry aggregates one metric's histograms across concurrent jobs.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	merged := make([]HistogramBucket, 0, len(s.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Bit < o.Buckets[j].Bit):
+			merged = append(merged, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Bit < s.Buckets[i].Bit:
+			merged = append(merged, o.Buckets[j])
+			j++
+		default:
+			merged = append(merged, HistogramBucket{Bit: s.Buckets[i].Bit, Count: s.Buckets[i].Count + o.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	s.Buckets = merged
+	s.refreshQuantiles()
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the bucketing rule: bucket i holds values
+// in [2^(i-1), 2^i), bucket 0 holds <= 0, and quantile estimates are
+// bucket upper bounds.
+func TestHistogramBuckets(t *testing.T) {
+	t.Parallel()
+	h := &Histogram{}
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 7, 8, 1000} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 9 {
+		t.Fatalf("count = %d, want 9", snap.Count)
+	}
+	if snap.Sum != 0+0+1+2+3+4+7+8+1000 {
+		t.Errorf("sum = %d", snap.Sum)
+	}
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1}
+	got := map[int]int64{}
+	for _, b := range snap.Buckets {
+		got[b.Bit] = b.Count
+	}
+	for bit, n := range want {
+		if got[bit] != n {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", bit, got[bit], n, snap.Buckets)
+		}
+	}
+	// 9 observations: p50 is the 5th smallest (value 3, bucket 2 →
+	// upper bound 3); p99 is the 9th (value 1000, bucket 10 → 1023).
+	if snap.P50 != 3 {
+		t.Errorf("p50 = %d, want 3", snap.P50)
+	}
+	if snap.P99 != 1023 {
+		t.Errorf("p99 = %d, want 1023", snap.P99)
+	}
+}
+
+// TestHistogramNilSafe: a nil histogram discards everything.
+func TestHistogramNilSafe(t *testing.T) {
+	t.Parallel()
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveDuration(time.Second)
+	h.Start()()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded something")
+	}
+	if snap := h.Snapshot(); snap.Count != 0 || len(snap.Buckets) != 0 {
+		t.Errorf("nil snapshot: %+v", snap)
+	}
+}
+
+// TestHistogramExtremes: MaxInt64 observations land in the top bucket
+// and its quantile upper bound saturates instead of overflowing.
+func TestHistogramExtremes(t *testing.T) {
+	t.Parallel()
+	h := &Histogram{}
+	h.Observe(math.MaxInt64)
+	snap := h.Snapshot()
+	if len(snap.Buckets) != 1 || snap.Buckets[0].Bit != 63 {
+		t.Fatalf("buckets: %+v", snap.Buckets)
+	}
+	if snap.P50 != math.MaxInt64 {
+		t.Errorf("p50 = %d, want MaxInt64", snap.P50)
+	}
+}
+
+// TestHistogramConcurrent: observations from many goroutines are all
+// accounted (the lock-free claim, exercised under -race by make
+// verify).
+func TestHistogramConcurrent(t *testing.T) {
+	t.Parallel()
+	h := &Histogram{}
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Errorf("count = %d, want %d", snap.Count, workers*per)
+	}
+	var bucketSum int64
+	for _, b := range snap.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != workers*per {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, workers*per)
+	}
+}
+
+// TestHistogramSnapshotMerge: merging snapshots equals observing the
+// union, including recomputed quantiles.
+func TestHistogramSnapshotMerge(t *testing.T) {
+	t.Parallel()
+	a, b, both := &Histogram{}, &Histogram{}, &Histogram{}
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+		both.Observe(i)
+	}
+	for i := int64(1000); i <= 1100; i++ {
+		b.Observe(i)
+		both.Observe(i)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Errorf("merged totals %d/%d, want %d/%d", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	if len(merged.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged buckets %+v, want %+v", merged.Buckets, want.Buckets)
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Errorf("bucket %d: %+v vs %+v", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+	if merged.P50 != want.P50 || merged.P90 != want.P90 || merged.P99 != want.P99 {
+		t.Errorf("merged quantiles %d/%d/%d, want %d/%d/%d",
+			merged.P50, merged.P90, merged.P99, want.P50, want.P90, want.P99)
+	}
+}
+
+// TestSinkHistogram: sinks hand out stable histogram handles and
+// include them in snapshots; nil sinks stay free.
+func TestSinkHistogram(t *testing.T) {
+	t.Parallel()
+	s := NewSink()
+	h := s.Histogram("explore.level_ns")
+	if h2 := s.Histogram("explore.level_ns"); h2 != h {
+		t.Error("histogram handle not stable across lookups")
+	}
+	h.Observe(100)
+	snap := s.Snapshot()
+	if snap.Histograms["explore.level_ns"].Count != 1 {
+		t.Errorf("snapshot histograms: %+v", snap.Histograms)
+	}
+	var nilSink *Sink
+	if nilSink.Histogram("x") != nil {
+		t.Error("nil sink returned a live histogram")
+	}
+}

@@ -1,8 +1,9 @@
 // Package obs is the repository's dependency-free instrumentation
-// layer: lock-free run metrics (counters, gauges, timers) collected in
-// a named Sink, a structured JSONL event Emitter, and a run-report
-// export (RunReport) the cmd tools serialize behind their -metrics
-// flag.
+// layer: lock-free run metrics (counters, gauges, timers, log-bucketed
+// histograms) collected in a named Sink, a Registry aggregating sinks
+// across concurrent jobs (the dacd daemon's /metrics source), a
+// structured JSONL event Emitter, and a run-report export (RunReport)
+// the cmd tools serialize behind their -metrics flag.
 //
 // Design constraints, in order:
 //
@@ -133,18 +134,20 @@ func (t *Timer) Total() time.Duration {
 // *Sink hands out nil handles, making instrumentation free when
 // disabled.
 type Sink struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewSink returns an empty metrics sink.
 func NewSink() *Sink {
 	return &Sink{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -196,6 +199,22 @@ func (s *Sink) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it empty on first
+// use. A nil Sink returns a nil (no-op) histogram.
+func (s *Sink) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		s.histograms[name] = h
+	}
+	return h
+}
+
 // TimerSnapshot is the exported state of one Timer.
 type TimerSnapshot struct {
 	// Count is the number of observations.
@@ -214,15 +233,20 @@ type Snapshot struct {
 	Gauges map[string]int64 `json:"gauges,omitempty"`
 	// Timers maps timer name to its observation count and total.
 	Timers map[string]TimerSnapshot `json:"timers,omitempty"`
+	// Histograms maps histogram name to its bucketed distribution and
+	// quantile estimates. Like Timers, histogram contents are wall time
+	// and are excluded from determinism comparisons.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the sink's current metric values. A nil Sink yields
 // an empty (but non-nil-mapped) snapshot.
 func (s *Sink) Snapshot() Snapshot {
 	snap := Snapshot{
-		Counters: make(map[string]int64),
-		Gauges:   make(map[string]int64),
-		Timers:   make(map[string]TimerSnapshot),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Timers:     make(map[string]TimerSnapshot),
+		Histograms: make(map[string]HistogramSnapshot),
 	}
 	if s == nil {
 		return snap
@@ -237,6 +261,9 @@ func (s *Sink) Snapshot() Snapshot {
 	}
 	for name, t := range s.timers {
 		snap.Timers[name] = TimerSnapshot{Count: t.Count(), TotalNS: int64(t.Total())}
+	}
+	for name, h := range s.histograms {
+		snap.Histograms[name] = h.Snapshot()
 	}
 	return snap
 }

@@ -1,0 +1,124 @@
+package obs
+
+import "sync"
+
+// Registry aggregates metrics across the concurrent Sinks of a
+// long-lived process — the dacd daemon's per-job sinks plus its own —
+// into one merged Snapshot for a scrape endpoint. Live sinks are read
+// in place at every Gather; a released sink's final snapshot is folded
+// into a retired accumulator, so totals survive job completion and the
+// registry never holds more than the live sinks plus one snapshot.
+// All methods are safe for concurrent use; a nil *Registry hands out
+// nil sinks and empty snapshots, so instrumentation stays free when
+// disabled.
+type Registry struct {
+	mu      sync.Mutex
+	live    map[*Sink]struct{}
+	retired Snapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{live: make(map[*Sink]struct{}), retired: emptySnapshot()}
+}
+
+// Attach creates a new live Sink tracked by the registry. A nil
+// registry returns a nil (no-op) sink.
+func (r *Registry) Attach() *Sink {
+	if r == nil {
+		return nil
+	}
+	s := NewSink()
+	r.mu.Lock()
+	r.live[s] = struct{}{}
+	r.mu.Unlock()
+	return s
+}
+
+// Release detaches s, folding its final snapshot into the retired
+// accumulator so its totals keep counting in Gather. Releasing a sink
+// the registry does not track (or nil) is a no-op.
+func (r *Registry) Release(s *Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.live[s]; !ok {
+		return
+	}
+	delete(r.live, s)
+	r.retired.Merge(s.Snapshot())
+}
+
+// Gather returns the merged snapshot of every sink the registry has
+// seen: retired totals plus the current state of all live sinks.
+// Counters, timers, and histogram buckets sum; gauges take the
+// maximum. A nil registry gathers an empty snapshot.
+func (r *Registry) Gather() Snapshot {
+	snap := emptySnapshot()
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	live := make([]*Sink, 0, len(r.live))
+	for s := range r.live {
+		live = append(live, s)
+	}
+	snap.Merge(r.retired)
+	r.mu.Unlock()
+	// Live sinks are snapshotted outside the registry lock: each
+	// Sink.Snapshot takes its own lock, and a job finishing mid-gather
+	// is indistinguishable from one finishing just after.
+	for _, s := range live {
+		snap.Merge(s.Snapshot())
+	}
+	return snap
+}
+
+func emptySnapshot() Snapshot {
+	return Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Timers:     make(map[string]TimerSnapshot),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+}
+
+// Merge folds o into s: counters and timers sum, gauges take the
+// maximum (they are high-water marks across jobs), histograms merge
+// bucket-wise. Maps missing in s are created on demand, so a zero
+// Snapshot is a valid merge target.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	if len(o.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	for name, v := range o.Gauges {
+		if cur, ok := s.Gauges[name]; !ok || v > cur {
+			s.Gauges[name] = v
+		}
+	}
+	if len(o.Timers) > 0 && s.Timers == nil {
+		s.Timers = make(map[string]TimerSnapshot)
+	}
+	for name, t := range o.Timers {
+		cur := s.Timers[name]
+		cur.Count += t.Count
+		cur.TotalNS += t.TotalNS
+		s.Timers[name] = cur
+	}
+	if len(o.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	for name, h := range o.Histograms {
+		cur := s.Histograms[name]
+		cur.Merge(h)
+		s.Histograms[name] = cur
+	}
+}

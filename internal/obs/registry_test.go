@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryGather: live sinks are read in place, released sinks
+// keep counting through the retired accumulator, and the merge rules
+// are counters-sum / gauges-max / timers-sum / histograms-bucketwise.
+func TestRegistryGather(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+
+	a := r.Attach()
+	a.Counter("explore.states").Add(100)
+	a.Gauge("explore.frontier_max").SetMax(50)
+	a.Timer("t").Observe(time.Millisecond)
+	a.Histogram("explore.level_ns").Observe(1000)
+
+	b := r.Attach()
+	b.Counter("explore.states").Add(25)
+	b.Gauge("explore.frontier_max").SetMax(80)
+	b.Timer("t").Observe(2 * time.Millisecond)
+	b.Histogram("explore.level_ns").Observe(2000)
+
+	check := func(stage string) {
+		t.Helper()
+		snap := r.Gather()
+		if snap.Counters["explore.states"] != 125 {
+			t.Errorf("%s: states = %d, want 125", stage, snap.Counters["explore.states"])
+		}
+		if snap.Gauges["explore.frontier_max"] != 80 {
+			t.Errorf("%s: frontier_max = %d, want 80 (max, not sum)", stage, snap.Gauges["explore.frontier_max"])
+		}
+		if tm := snap.Timers["t"]; tm.Count != 2 || tm.TotalNS != int64(3*time.Millisecond) {
+			t.Errorf("%s: timer = %+v", stage, tm)
+		}
+		if h := snap.Histograms["explore.level_ns"]; h.Count != 2 || h.Sum != 3000 {
+			t.Errorf("%s: histogram = %+v", stage, h)
+		}
+	}
+	check("both live")
+
+	r.Release(a)
+	check("a retired")
+	r.Release(b)
+	check("both retired")
+
+	// Releasing twice (or a foreign sink) must not double-count.
+	r.Release(a)
+	r.Release(NewSink())
+	check("idempotent release")
+}
+
+// TestRegistryNilSafe: a nil registry is free to use everywhere.
+func TestRegistryNilSafe(t *testing.T) {
+	t.Parallel()
+	var r *Registry
+	s := r.Attach()
+	if s != nil {
+		t.Error("nil registry returned a live sink")
+	}
+	s.Counter("x").Inc() // no-op all the way down
+	r.Release(s)
+	if snap := r.Gather(); len(snap.Counters) != 0 {
+		t.Errorf("nil gather: %+v", snap)
+	}
+}
+
+// TestRegistryConcurrent exercises attach/observe/release/gather races
+// under -race (make verify runs this package with the race detector).
+func TestRegistryConcurrent(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	const jobs = 16
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := r.Attach()
+			for i := 0; i < 100; i++ {
+				s.Counter("n").Inc()
+				s.Histogram("h").Observe(int64(i))
+			}
+			r.Release(s)
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Gather()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	snap := r.Gather()
+	if snap.Counters["n"] != jobs*100 {
+		t.Errorf("counter n = %d, want %d", snap.Counters["n"], jobs*100)
+	}
+	if snap.Histograms["h"].Count != jobs*100 {
+		t.Errorf("histogram count = %d, want %d", snap.Histograms["h"].Count, jobs*100)
+	}
+}
+
+// TestReportRateFloor pins the sub-millisecond rate guard: a 10µs run
+// with real counters reports rates derived over RateFloor, not over
+// the raw wall time (which would inflate them 100x here).
+func TestReportRateFloor(t *testing.T) {
+	t.Parallel()
+	s := NewSink()
+	s.Counter("explore.states").Add(500)
+	rep := s.Report("explore", nil, time.Time{}, 10*time.Microsecond)
+	if got, want := rep.Rates["explore.states_per_sec"], 500/RateFloor.Seconds(); got != want {
+		t.Errorf("states_per_sec = %v, want %v (floored denominator)", got, want)
+	}
+	// At or above the floor the true elapsed is used.
+	rep = s.Report("explore", nil, time.Time{}, 2*time.Second)
+	if got := rep.Rates["explore.states_per_sec"]; got != 250 {
+		t.Errorf("states_per_sec = %v, want 250", got)
+	}
+}

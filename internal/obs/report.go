@@ -22,15 +22,26 @@ type RunReport struct {
 	DurationNS int64 `json:"duration_ns"`
 	// DurationSeconds is DurationNS in seconds, for human reading.
 	DurationSeconds float64 `json:"duration_seconds"`
-	// Counters, Gauges, and Timers are the Snapshot of the run's Sink.
-	Counters map[string]int64         `json:"counters"`
-	Gauges   map[string]int64         `json:"gauges,omitempty"`
-	Timers   map[string]TimerSnapshot `json:"timers,omitempty"`
+	// Counters, Gauges, Timers, and Histograms are the Snapshot of the
+	// run's Sink.
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	// Rates maps "<counter>_per_sec" to counter/DurationSeconds for
 	// every counter — throughput (states/sec, candidates/sec, ...) for
-	// free on every metric.
+	// free on every metric. The denominator is floored at RateFloor so
+	// a sub-millisecond run cannot report absurd rates.
 	Rates map[string]float64 `json:"rates"`
 }
+
+// RateFloor is the minimum wall time Rates are derived over. Timer
+// resolution on a loaded host is coarser than the runtime of a trivial
+// instance, so dividing a real counter by a near-zero elapsed produces
+// rates off by orders of magnitude; flooring the denominator bounds
+// the distortion to "at most what the run did in a millisecond". Runs
+// with zero or negative elapsed report no rates at all.
+const RateFloor = time.Millisecond
 
 // Report packages the sink's snapshot into a RunReport with derived
 // rates. It works on a nil Sink (empty metrics).
@@ -45,9 +56,14 @@ func (s *Sink) Report(tool string, args []string, start time.Time, elapsed time.
 		Counters:        snap.Counters,
 		Gauges:          snap.Gauges,
 		Timers:          snap.Timers,
+		Histograms:      snap.Histograms,
 		Rates:           make(map[string]float64, len(snap.Counters)),
 	}
-	if secs := elapsed.Seconds(); secs > 0 {
+	if elapsed > 0 {
+		secs := elapsed.Seconds()
+		if elapsed < RateFloor {
+			secs = RateFloor.Seconds()
+		}
 		for name, v := range snap.Counters {
 			rep.Rates[name+"_per_sec"] = float64(v) / secs
 		}
