@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race bench bench-json bench-gate bench-schema experiments
+.PHONY: verify fmt vet build test race bench bench-json bench-gate bench-schema loadtest experiments
 
 verify: fmt vet build test race bench-gate bench-schema
 
@@ -122,6 +122,23 @@ bench-schema:
 	@jq -e '.threshold_percent == 2 and (.results | length) == 2 and .histogram.level_count_per_op > 0 and .histogram.level_p50_ns > 0 and .histogram.level_p99_ns >= .histogram.level_p50_ns' BENCH_obs.json > /dev/null \
 		|| { echo "bench-schema: BENCH_obs.json missing or has implausible histogram fields"; exit 1; }
 	@echo "bench-schema: BENCH_obs.json ok ($$(jq -r .verdict BENCH_obs.json | cut -c1-40)...)"
+	@jq -e -f bench_cluster.jq BENCH_cluster.json > /dev/null \
+		|| { echo "bench-schema: BENCH_cluster.json missing or fails the cluster SLO gate (regenerate with make loadtest)"; exit 1; }
+	@echo "bench-schema: BENCH_cluster.json ok (identical=$$(jq -r .sweep.report_identical BENCH_cluster.json), p99=$$(jq -r .load.submit_ms.p99 BENCH_cluster.json)ms, 429s=$$(jq -r .load.rejected_429 BENCH_cluster.json))"
+
+# loadtest stands up a real cluster on this host — one coordinator
+# dacd in front of two worker dacds, plus a plain daemon as the
+# baseline — runs the Theorem 7.1 sweep through both paths, floods the
+# coordinator's bounded queue with concurrent submitters, and rewrites
+# BENCH_cluster.json. dacload exits non-zero when any SLO fails (see
+# bench_cluster.jq for the gated fields), so this target doubles as
+# the cluster acceptance check in CI.
+loadtest:
+	$(GO) build -o bin/dacd ./cmd/dacd
+	$(GO) build -o bin/dacload ./cmd/dacload
+	./bin/dacload -dacd bin/dacd -workers 2 -out BENCH_cluster.json
+	@jq -e -f bench_cluster.jq BENCH_cluster.json > /dev/null \
+		|| { echo "loadtest: BENCH_cluster.json fails its own gate"; exit 1; }
 
 experiments:
 	$(GO) run ./cmd/experiments

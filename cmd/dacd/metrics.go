@@ -142,6 +142,12 @@ func writeSummary(w io.Writer, name string, h obs.HistogramSnapshot) {
 }
 
 // flatten turns a dotted sink name into a Prometheus-legal one.
+// Coordinator metrics (cluster.*) are daemon-level, not run-level, so
+// they export in the daemon's namespace as dacd_cluster_* families.
 func flatten(name string) string {
-	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+	flat := strings.NewReplacer(".", "_", "-", "_").Replace(name)
+	if strings.HasPrefix(name, "cluster.") {
+		return "dacd_" + flat
+	}
+	return flat
 }

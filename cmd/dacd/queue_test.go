@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -53,6 +54,10 @@ func TestSubmitBackpressure(t *testing.T) {
 	}
 	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Errorf("429 response carries no Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		// The hint is derived from the observed drain rate; whatever the
+		// history, it must parse and stay within the clamp.
+		t.Errorf("Retry-After = %q, want an integer in [1,30]", ra)
 	}
 	var body struct {
 		Error string `json:"error"`

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"setagree/internal/cluster"
+	"setagree/internal/jobs"
+	"setagree/internal/obs"
+)
+
+// sweepShardRunner returns the jobs.Runner for kind "sweep-shard": the
+// worker half of the checking cluster. The spec is a cluster.ShardJob
+// ({"sweep":{...},"lo":L,"hi":H}); the result is the shard's
+// ShardReport. Shards are not checkpointed: verdicts are deterministic
+// and shards are sized to re-run cheaply, so a lost worker costs one
+// shard re-check, not a resume protocol.
+func sweepShardRunner(reg *obs.Registry) jobs.Runner {
+	return func(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte, error) {
+		var sj cluster.ShardJob
+		if err := json.Unmarshal(job.Spec, &sj); err != nil {
+			return nil, fmt.Errorf("bad spec: %w", err)
+		}
+		emitter, closeEvents, err := jobEmitter(store, job.ID)
+		if err != nil {
+			return nil, err
+		}
+		defer closeEvents()
+		sink := reg.Attach()
+		if sink == nil {
+			sink = obs.NewSink()
+		}
+		defer reg.Release(sink)
+		rep, err := cluster.RunShard(ctx, sj, sink, emitter)
+		if err != nil {
+			emitter.Sync()
+			return nil, err
+		}
+		if err := emitter.Sync(); err != nil {
+			return nil, fmt.Errorf("event stream: %w", err)
+		}
+		return json.MarshalIndent(rep, "", "  ")
+	}
+}
+
+// sweepJobSpec is the JSON spec of a "sweep" job: the sweep plus the
+// coordinator's partitioning knobs. The worker list is the daemon's
+// -workers flag, not part of the spec — topology is an operator
+// decision, and the same submitted job runs in-process on a plain
+// daemon and sharded on a coordinator, with byte-identical results.
+type sweepJobSpec struct {
+	Sweep cluster.SweepSpec `json:"sweep"`
+	// Shards overrides the shard count (0 = 4 per worker, or 1 local).
+	Shards int `json:"shards,omitempty"`
+	// PaceMs sleeps each shard this long per candidate — the demo/test
+	// knob that makes a sweep long-lived enough to kill a worker under.
+	PaceMs int `json:"pace_ms,omitempty"`
+}
+
+// sweepRunner returns the jobs.Runner for kind "sweep": coordinate a
+// partitioned sweep over the configured workers (in-process when the
+// list is empty) and store the canonical merged SweepReport.
+func sweepRunner(reg *obs.Registry, workers []string) jobs.Runner {
+	return func(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte, error) {
+		var sp sweepJobSpec
+		if err := json.Unmarshal(job.Spec, &sp); err != nil {
+			return nil, fmt.Errorf("bad spec: %w", err)
+		}
+		emitter, closeEvents, err := jobEmitter(store, job.ID)
+		if err != nil {
+			return nil, err
+		}
+		defer closeEvents()
+		sink := reg.Attach()
+		if sink == nil {
+			sink = obs.NewSink()
+		}
+		defer reg.Release(sink)
+		rep, err := cluster.Run(ctx, sp.Sweep, cluster.Options{
+			Workers: workers,
+			Shards:  sp.Shards,
+			PaceMs:  sp.PaceMs,
+			Obs:     sink,
+			Events:  emitter,
+		})
+		if err != nil {
+			emitter.Sync()
+			return nil, err
+		}
+		if err := emitter.Sync(); err != nil {
+			return nil, fmt.Errorf("event stream: %w", err)
+		}
+		return rep.Render()
+	}
+}
+
+// jobEmitter opens the job's event stream fresh (sweeps re-run from
+// scratch on retry, so any stale stream is dropped).
+func jobEmitter(store *jobs.Store, id string) (*obs.Emitter, func() error, error) {
+	ef, err := os.Create(store.EventsPath(id))
+	if err != nil {
+		return nil, nil, err
+	}
+	return obs.NewEmitter(ef), ef.Close, nil
+}

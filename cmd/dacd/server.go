@@ -9,6 +9,7 @@ import (
 	"io/fs"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"setagree/internal/jobs"
@@ -179,8 +180,9 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, jobs.ErrQueueFull) {
 			// Back-pressure, not failure: the client should retry once
-			// the pool has drained some of the queue.
-			w.Header().Set("Retry-After", "1")
+			// the pool has drained some of the queue. The hint is the
+			// store's backlog/drain-rate estimate, clamped to [1,30]s.
+			w.Header().Set("Retry-After", strconv.Itoa(s.store.RetryAfter()))
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}

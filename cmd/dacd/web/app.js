@@ -1,7 +1,11 @@
 // dacd dashboard: a plain-JS client of the daemon's existing API.
 // The job table refreshes by polling GET /jobs; each running job also
-// gets an EventSource on its SSE stream, and every explore.heartbeat
-// event becomes one point of the states/sec + frontier sparklines.
+// gets an EventSource on its SSE stream. Explore jobs sample every
+// explore.heartbeat (cumulative states + frontier); sweep jobs sample
+// every sweep.candidate (cumulative states + candidate index); cluster
+// coordinator jobs sample every cluster.shard.done (cumulative states
+// + shard high bound). All three feed the states/sec + progress
+// sparklines the same way.
 "use strict";
 
 const POLL_MS = 2000;
@@ -45,14 +49,29 @@ function track(id) {
   tr.es.onmessage = (msg) => {
     let ev;
     try { ev = JSON.parse(msg.data); } catch { return; }
-    if (ev.event !== "explore.heartbeat") return;
+    // Each event family yields (cumulative states, progress marker).
+    let states, marker;
+    if (ev.event === "explore.heartbeat") {
+      states = ev.states;
+      marker = ev.frontier;
+    } else if (ev.event === "sweep.candidate") {
+      tr.total = (tr.total || 0) + (ev.states || 0);
+      states = tr.total;
+      marker = ev.index;
+    } else if (ev.event === "cluster.shard.done") {
+      tr.total = (tr.total || 0) + (ev.states || 0);
+      states = tr.total;
+      marker = ev.hi;
+    } else {
+      return;
+    }
     const now = Date.now();
     let rate = 0;
     if (tr.last && now > tr.last.t) {
-      rate = ((ev.states - tr.last.states) * 1000) / (now - tr.last.t);
+      rate = ((states - tr.last.states) * 1000) / (now - tr.last.t);
     }
-    tr.last = { t: now, states: ev.states };
-    tr.samples.push({ t: now, states: ev.states, frontier: ev.frontier, rate: Math.max(rate, 0) });
+    tr.last = { t: now, states };
+    tr.samples.push({ t: now, states, frontier: marker, rate: Math.max(rate, 0) });
     if (tr.samples.length > SPARK_POINTS) tr.samples.shift();
     const row = document.getElementById("row-" + id);
     if (row) {

@@ -1,0 +1,289 @@
+// Package cluster turns dacd daemons into a partitioned checking
+// cluster: a coordinator splits a falsification sweep into
+// candidate-range shards, dispatches them to worker daemons over the
+// jobs HTTP API, steals work from stragglers, retries shards lost to
+// worker death, and merges the shard reports into a document
+// byte-identical to a single-daemon run of the same sweep.
+//
+// The whole design leans on one invariant (pinned in
+// internal/enumerate's shard tests): candidate enumeration and
+// per-candidate verdicts are deterministic, so any process that builds
+// the same SweepSpec agrees on every candidate index, and shard
+// results merge without coordination — duplicates from retries or
+// speculative steals are simply discarded.
+package cluster
+
+import (
+	"fmt"
+
+	"setagree/internal/enumerate"
+	"setagree/internal/explore"
+	"setagree/internal/objects"
+	"setagree/internal/spec"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// SweepSpec is a fully data-driven falsification sweep: everything a
+// worker needs to rebuild the candidate family, in JSON. It travels
+// inside "sweep" and "sweep-shard" job specs.
+type SweepSpec struct {
+	// Task selects the task the candidates are checked against.
+	Task TaskSpec `json:"task"`
+	// Objects is the permitted object base, by name.
+	Objects []ObjectSpec `json:"objects"`
+	// Menu is the invocation-template menu.
+	Menu []InvokeSpec `json:"menu"`
+	// Depth is the number of invocations per phase.
+	Depth int `json:"depth"`
+	// Actions is the permitted final-action set (abort is added
+	// automatically for the distinguished DAC role).
+	Actions []string `json:"actions"`
+	// Inputs is the list of input vectors to check each candidate on;
+	// empty means all binary vectors over the task's process count.
+	Inputs [][]value.Value `json:"inputs,omitempty"`
+	// MaxStatesPerCandidate caps each model check (0 = enumerate's
+	// default).
+	MaxStatesPerCandidate int `json:"max_states_per_candidate,omitempty"`
+	// SoloSteps caps the solo prefilter (0 = enumerate's default).
+	SoloSteps int `json:"solo_steps,omitempty"`
+	// Symmetry is the reduction mode: "" or "off", "ids", "values".
+	Symmetry string `json:"symmetry,omitempty"`
+}
+
+// TaskSpec names a task.
+type TaskSpec struct {
+	// Kind is "dac", "consensus", or "ksa".
+	Kind string `json:"kind"`
+	// N is the process count.
+	N int `json:"n"`
+	// K is the agreement bound (ksa only).
+	K int `json:"k,omitempty"`
+	// P is the distinguished process (dac only).
+	P int `json:"p,omitempty"`
+}
+
+// ObjectSpec names a shared object.
+type ObjectSpec struct {
+	// Kind is "register", "consensus", "setagreement", "queue", or
+	// "testandset".
+	Kind string `json:"kind"`
+	// N is the power (consensus) or process bound (setagreement).
+	N int `json:"n,omitempty"`
+	// K is the agreement bound (setagreement only).
+	K int `json:"k,omitempty"`
+}
+
+// InvokeSpec names one menu entry.
+type InvokeSpec struct {
+	// Obj indexes Objects.
+	Obj int `json:"obj"`
+	// Method is "read", "write", "propose", "enqueue", or "dequeue".
+	Method string `json:"method"`
+	// Arg is "input", "0", "1", or "prev" (methods that take one).
+	Arg string `json:"arg,omitempty"`
+	// Label is the constant label for methods that take one.
+	Label int `json:"label,omitempty"`
+}
+
+// Thm71 is the Theorem 7.1 negative sweep (EXPERIMENTS E8): the
+// 1116-candidate depth-1 family over {2-consensus, register} checked
+// against 3-DAC — the heaviest committed sweep and the cluster's
+// reference workload.
+func Thm71() SweepSpec {
+	return SweepSpec{
+		Task:    TaskSpec{Kind: "dac", N: 3},
+		Objects: []ObjectSpec{{Kind: "consensus", N: 2}, {Kind: "register"}},
+		Menu: []InvokeSpec{
+			{Obj: 0, Method: "propose", Arg: "input"},
+			{Obj: 1, Method: "write", Arg: "input"},
+			{Obj: 1, Method: "read"},
+		},
+		Depth: 1,
+		Actions: []string{
+			"decide-input", "decide-last", "decide-first",
+			"decide-0", "decide-1", "retry",
+		},
+	}
+}
+
+func (t TaskSpec) build() (task.Task, error) {
+	switch t.Kind {
+	case "dac":
+		if t.N < 2 {
+			return nil, fmt.Errorf("cluster: dac task needs n >= 2, got %d", t.N)
+		}
+		return task.DAC{N: t.N, P: t.P}, nil
+	case "consensus":
+		if t.N < 1 {
+			return nil, fmt.Errorf("cluster: consensus task needs n >= 1, got %d", t.N)
+		}
+		return task.Consensus{N: t.N}, nil
+	case "ksa":
+		if t.N < 1 || t.K < 1 {
+			return nil, fmt.Errorf("cluster: ksa task needs n, k >= 1, got n=%d k=%d", t.N, t.K)
+		}
+		return task.KSetAgreement{N: t.N, K: t.K}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown task kind %q", t.Kind)
+	}
+}
+
+func (o ObjectSpec) build() (spec.Spec, error) {
+	switch o.Kind {
+	case "register":
+		return objects.NewRegister(), nil
+	case "consensus":
+		if o.N < 1 {
+			return nil, fmt.Errorf("cluster: consensus object needs n >= 1, got %d", o.N)
+		}
+		return objects.NewConsensus(o.N), nil
+	case "setagreement":
+		if o.N < 1 || o.K < 1 {
+			return nil, fmt.Errorf("cluster: setagreement object needs n, k >= 1, got n=%d k=%d", o.N, o.K)
+		}
+		return objects.NewSetAgreement(o.N, o.K), nil
+	case "queue":
+		return objects.NewQueue(), nil
+	case "testandset":
+		return objects.NewTestAndSet(), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown object kind %q", o.Kind)
+	}
+}
+
+var methods = map[string]value.Method{
+	"read":    value.MethodRead,
+	"write":   value.MethodWrite,
+	"propose": value.MethodPropose,
+	"enqueue": value.MethodEnqueue,
+	"dequeue": value.MethodDequeue,
+}
+
+var argSources = map[string]enumerate.ArgSource{
+	"input": enumerate.ArgInput,
+	"0":     enumerate.ArgZero,
+	"1":     enumerate.ArgOne,
+	"prev":  enumerate.ArgPrev,
+}
+
+var actions = map[string]enumerate.Action{
+	"decide-input": enumerate.ActDecideInput,
+	"decide-last":  enumerate.ActDecideLast,
+	"decide-first": enumerate.ActDecideFirst,
+	"decide-0":     enumerate.ActDecideZero,
+	"decide-1":     enumerate.ActDecideOne,
+	"retry":        enumerate.ActRetry,
+}
+
+// Family rebuilds the enumerate.Family the spec describes.
+func (sp SweepSpec) Family() (*enumerate.Family, error) {
+	if sp.Depth < 1 {
+		return nil, fmt.Errorf("cluster: depth must be >= 1, got %d", sp.Depth)
+	}
+	if len(sp.Objects) == 0 || len(sp.Menu) == 0 || len(sp.Actions) == 0 {
+		return nil, fmt.Errorf("cluster: sweep spec needs objects, menu, and actions")
+	}
+	objs := make([]spec.Spec, len(sp.Objects))
+	for i, o := range sp.Objects {
+		var err error
+		if objs[i], err = o.build(); err != nil {
+			return nil, err
+		}
+	}
+	menu := make([]enumerate.Invoke, len(sp.Menu))
+	for i, m := range sp.Menu {
+		if m.Obj < 0 || m.Obj >= len(objs) {
+			return nil, fmt.Errorf("cluster: menu entry %d references object %d of %d", i, m.Obj, len(objs))
+		}
+		method, ok := methods[m.Method]
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown method %q", m.Method)
+		}
+		iv := enumerate.Invoke{Obj: m.Obj, Method: method, Label: m.Label}
+		if method.TakesArg() {
+			src, ok := argSources[m.Arg]
+			if !ok {
+				return nil, fmt.Errorf("cluster: method %q needs arg one of input/0/1/prev, got %q", m.Method, m.Arg)
+			}
+			iv.Arg = src
+		}
+		menu[i] = iv
+	}
+	acts := make([]enumerate.Action, len(sp.Actions))
+	for i, a := range sp.Actions {
+		act, ok := actions[a]
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown action %q", a)
+		}
+		acts[i] = act
+	}
+	return &enumerate.Family{Objects: objs, Menu: menu, Depth: sp.Depth, Actions: acts}, nil
+}
+
+// Options builds the enumerate.SweepOptions the spec's knobs select.
+func (sp SweepSpec) Options() (enumerate.SweepOptions, error) {
+	opts := enumerate.SweepOptions{
+		MaxStatesPerCandidate: sp.MaxStatesPerCandidate,
+		SoloSteps:             sp.SoloSteps,
+	}
+	if sp.Symmetry != "" {
+		mode, err := explore.ParseSymmetry(sp.Symmetry)
+		if err != nil {
+			return opts, err
+		}
+		opts.Symmetry = mode
+	}
+	return opts, nil
+}
+
+// Vectors returns the input vectors to check each candidate on: the
+// explicit list, or all binary vectors over the task's process count.
+func (sp SweepSpec) Vectors() ([][]value.Value, error) {
+	tsk, err := sp.Task.build()
+	if err != nil {
+		return nil, err
+	}
+	if len(sp.Inputs) > 0 {
+		for i, v := range sp.Inputs {
+			if len(v) != tsk.Procs() {
+				return nil, fmt.Errorf("cluster: input vector %d has %d values for a %d-process task", i, len(v), tsk.Procs())
+			}
+		}
+		return sp.Inputs, nil
+	}
+	n := tsk.Procs()
+	out := make([][]value.Value, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		v := make([]value.Value, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v[i] = 1
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Prepare materializes the spec's candidate list. Every process that
+// Prepares the same spec gets the same candidate order — the cluster's
+// index space.
+func (sp SweepSpec) Prepare() (*enumerate.Prepared, error) {
+	fam, err := sp.Family()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := sp.Options()
+	if err != nil {
+		return nil, err
+	}
+	tsk, err := sp.Task.build()
+	if err != nil {
+		return nil, err
+	}
+	if sp.Task.Kind == "dac" {
+		return enumerate.PrepareDAC(fam, sp.Task.N, opts)
+	}
+	return enumerate.PrepareSymmetric(fam, tsk, opts)
+}

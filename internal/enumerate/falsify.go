@@ -148,50 +148,12 @@ func (f *Family) soloFilter(s Shape, opts SweepOptions) (bool, error) {
 // limit is recorded as inconclusive.
 func FalsifyDAC(f *Family, n int, inputVectors [][]value.Value, opts SweepOptions) (*Report, error) {
 	opts.fill()
-	pFam := *f
-	pFam.AllowAbort = true
-	qFam := *f
-	qFam.AllowAbort = false
-
-	pShapes, err := survivors(&pFam, opts)
+	p, err := PrepareDAC(f, n, opts)
 	if err != nil {
 		return nil, err
 	}
-	qShapes, err := survivors(&qFam, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	qProgs := make([]*machine.Program, len(qShapes))
-	for qi, qs := range qShapes {
-		if qProgs[qi], err = qFam.Program(qs, "cand-q"); err != nil {
-			return nil, err
-		}
-	}
-
-	cands := make([]candidate, 0, len(pShapes)*len(qShapes))
-	for _, ps := range pShapes {
-		pProg, err := pFam.Program(ps, "cand-p")
-		if err != nil {
-			return nil, err
-		}
-		for qi, qs := range qShapes {
-			progs := make([]*machine.Program, n)
-			progs[0] = pProg
-			for i := 1; i < n; i++ {
-				progs[i] = qProgs[qi]
-			}
-			cands = append(cands, candidate{
-				asn:   Assignment{Shapes: []Shape{ps, qs}},
-				progs: progs,
-			})
-		}
-	}
-
-	rep := &Report{
-		Pruned: (len(pFam.Shapes()) - len(pShapes)) + (len(qFam.Shapes()) - len(qShapes)),
-	}
-	if err := sweep(rep, cands, f.Objects, task.DAC{N: n, P: 0}, inputVectors, opts); err != nil {
+	rep := &Report{Pruned: p.pruned}
+	if err := sweep(rep, p.cands, p.objs, p.tsk, inputVectors, opts); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -201,26 +163,12 @@ func FalsifyDAC(f *Family, n int, inputVectors [][]value.Value, opts SweepOption
 // k-set agreement): every process runs the same shape.
 func FalsifySymmetric(f *Family, tsk task.Task, inputVectors [][]value.Value, opts SweepOptions) (*Report, error) {
 	opts.fill()
-	fam := *f
-	fam.AllowAbort = false
-	shapes, err := survivors(&fam, opts)
+	p, err := PrepareSymmetric(f, tsk, opts)
 	if err != nil {
 		return nil, err
 	}
-	cands := make([]candidate, 0, len(shapes))
-	for _, s := range shapes {
-		prog, err := fam.Program(s, "cand")
-		if err != nil {
-			return nil, err
-		}
-		progs := make([]*machine.Program, tsk.Procs())
-		for i := range progs {
-			progs[i] = prog
-		}
-		cands = append(cands, candidate{asn: Assignment{Shapes: []Shape{s}}, progs: progs})
-	}
-	rep := &Report{Pruned: len(fam.Shapes()) - len(shapes)}
-	if err := sweep(rep, cands, f.Objects, tsk, inputVectors, opts); err != nil {
+	rep := &Report{Pruned: p.pruned}
+	if err := sweep(rep, p.cands, p.objs, p.tsk, inputVectors, opts); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -269,14 +217,62 @@ type outcome struct {
 func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 	inputVectors [][]value.Value, opts SweepOptions,
 ) error {
+	opts.Obs.Counter("sweep.sweeps").Inc()
+	opts.Obs.Counter("sweep.pruned").Add(int64(rep.Pruned))
+	outcomes, err := runCandidates(cands, objs, tsk, inputVectors, 0, rep.Pruned, opts)
+	if err != nil {
+		return err
+	}
+	rep.Candidates = len(cands)
+	for i := range outcomes {
+		o := &outcomes[i]
+		rep.States += o.states
+		if o.symFallback {
+			rep.SymmetryFallbacks++
+		}
+		switch {
+		case o.failure != nil:
+			if rep.SampleFailure == nil {
+				rep.SampleFailure = o.failure
+			}
+		case o.inconclusive != nil:
+			rep.Inconclusive = append(rep.Inconclusive, *o.inconclusive)
+		case o.solver:
+			rep.Solvers = append(rep.Solvers, cands[i].asn)
+		}
+	}
+	if opts.Events != nil {
+		opts.Events.Emit("sweep.done", obs.Fields{
+			"candidates":         rep.Candidates,
+			"pruned":             rep.Pruned,
+			"states":             rep.States,
+			"inconclusive":       len(rep.Inconclusive),
+			"solvers":            len(rep.Solvers),
+			"symmetry_fallbacks": rep.SymmetryFallbacks,
+		})
+	}
+	return nil
+}
+
+// runCandidates is the worker-pool core shared by full sweeps and
+// shard checks: it fans cands out to opts.Workers goroutines and
+// returns the per-candidate outcomes indexed by position. Metric
+// handles resolve once per call; a nil Obs hands out nil (no-op)
+// handles, so the uninstrumented path pays nothing. Per-candidate
+// sweep.candidate events carry indexBase+i, so a shard's events use
+// global candidate indices. On a hard error or cancellation it emits
+// one sweep.error terminal event and returns the lowest-indexed error
+// (the terminal-event contract matches explore's: callers that finish
+// normally emit the single sweep.done themselves).
+func runCandidates(cands []candidate, objs []spec.Spec, tsk task.Task,
+	inputVectors [][]value.Value, indexBase, pruned int, opts SweepOptions,
+) ([]outcome, error) {
 	outcomes := make([]outcome, len(cands))
 	workers := opts.Workers
 	if workers > len(cands) {
 		workers = len(cands)
 	}
 
-	// Metric handles are resolved once per sweep; a nil Obs hands out
-	// nil (no-op) handles, so the uninstrumented path pays nothing.
 	var (
 		candCounter     = opts.Obs.Counter("sweep.candidates")
 		statesCounter   = opts.Obs.Counter("sweep.states")
@@ -287,15 +283,13 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 		candTimer       = opts.Obs.Timer("sweep.candidate")
 		timed           = opts.Obs != nil || opts.Events != nil
 	)
-	opts.Obs.Counter("sweep.sweeps").Inc()
-	opts.Obs.Counter("sweep.pruned").Add(int64(rep.Pruned))
 
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
 		wg     sync.WaitGroup
 		mu     sync.Mutex
-		prog   = Progress{Pruned: rep.Pruned}
+		prog   = Progress{Pruned: pruned}
 	)
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
@@ -341,7 +335,7 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 					candTimer.Observe(elapsed)
 					if opts.Events != nil {
 						opts.Events.Emit("sweep.candidate", obs.Fields{
-							"index":      i,
+							"index":      indexBase + i,
 							"outcome":    verdict,
 							"states":     out.states,
 							"elapsed_ns": elapsed.Nanoseconds(),
@@ -363,16 +357,14 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 	}
 	wg.Wait()
 
-	// Terminal-event contract (matching explore's): exactly one of
-	// sweep.done or sweep.error per sweep. Counters for completed
-	// candidates were flushed live above, so a failed or cancelled
-	// sweep still reports its partial work.
-	fail := func(err error) error {
+	// Counters for completed candidates were flushed live above, so a
+	// failed or cancelled run still reports its partial work.
+	fail := func(err error) ([]outcome, error) {
 		opts.Obs.Counter("sweep.errors").Inc()
 		if opts.Events != nil {
 			opts.Events.Emit("sweep.error", obs.Fields{"error": err.Error()})
 		}
-		return err
+		return nil, err
 	}
 	for i := range outcomes {
 		if err := outcomes[i].err; err != nil {
@@ -382,35 +374,7 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 	if ctx := opts.Ctx; ctx != nil && ctx.Err() != nil {
 		return fail(fmt.Errorf("enumerate: sweep interrupted: %w", ctx.Err()))
 	}
-	rep.Candidates = len(cands)
-	for i := range outcomes {
-		o := &outcomes[i]
-		rep.States += o.states
-		if o.symFallback {
-			rep.SymmetryFallbacks++
-		}
-		switch {
-		case o.failure != nil:
-			if rep.SampleFailure == nil {
-				rep.SampleFailure = o.failure
-			}
-		case o.inconclusive != nil:
-			rep.Inconclusive = append(rep.Inconclusive, *o.inconclusive)
-		case o.solver:
-			rep.Solvers = append(rep.Solvers, cands[i].asn)
-		}
-	}
-	if opts.Events != nil {
-		opts.Events.Emit("sweep.done", obs.Fields{
-			"candidates":         rep.Candidates,
-			"pruned":             rep.Pruned,
-			"states":             rep.States,
-			"inconclusive":       len(rep.Inconclusive),
-			"solvers":            len(rep.Solvers),
-			"symmetry_fallbacks": rep.SymmetryFallbacks,
-		})
-	}
-	return nil
+	return outcomes, nil
 }
 
 // checkCandidate model-checks one assignment on every input vector.

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -91,6 +92,11 @@ type Store struct {
 	jobs    map[string]*Job
 	nextID  int
 	limit   int
+	// drains records when pending jobs recently left the queue (claims
+	// and cancellations), the history behind RetryAfter. now is the
+	// clock, swappable in tests.
+	drains []time.Time
+	now    func() time.Time
 
 	archive      ArchivePolicy
 	archiveBytes int64
@@ -103,7 +109,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, jobs: make(map[string]*Job)}
+	s := &Store{dir: dir, jobs: make(map[string]*Job), now: time.Now}
 	path := filepath.Join(dir, "journal.jsonl")
 	if buf, err := os.ReadFile(path); err == nil {
 		for _, line := range strings.Split(string(buf), "\n") {
@@ -258,7 +264,10 @@ func (s *Store) Get(id string) (Job, error) {
 	return *j, nil
 }
 
-// List returns all jobs sorted by ID (submission order).
+// List returns all jobs sorted by ID (submission order). IDs compare
+// by their number, not as strings: "job-1000000" sorts after
+// "job-999999", so the table keeps submission order across the
+// six-digit rollover.
 func (s *Store) List() []Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -266,18 +275,29 @@ func (s *Store) List() []Job {
 	for _, j := range s.jobs {
 		out = append(out, *j)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	sort.Slice(out, func(a, b int) bool { return idBefore(out[a].ID, out[b].ID) })
 	return out
 }
 
-// Claim atomically moves the lowest-ID pending job to running and
-// returns it; ok is false when the queue is empty.
+// idBefore orders job IDs by their number (submission order), falling
+// back to the string compare only for IDs the store never minted.
+func idBefore(a, b string) bool {
+	na, nb := idNumber(a), idNumber(b)
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// Claim atomically moves the oldest pending job (lowest ID number — a
+// string compare would break FIFO at the job-1000000 rollover) to
+// running and returns it; ok is false when the queue is empty.
 func (s *Store) Claim() (Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var pick *Job
 	for _, j := range s.jobs {
-		if j.State == Pending && (pick == nil || j.ID < pick.ID) {
+		if j.State == Pending && (pick == nil || idBefore(j.ID, pick.ID)) {
 			pick = j
 		}
 	}
@@ -292,6 +312,7 @@ func (s *Store) Claim() (Job, bool, error) {
 		*pick = prev
 		return Job{}, false, err
 	}
+	s.drainLocked()
 	return *pick, true, nil
 }
 
@@ -319,7 +340,59 @@ func (s *Store) Transition(id string, to State, errMsg string) (Job, error) {
 		*j = prev
 		return Job{}, err
 	}
+	if prev.State == Pending && to != Pending {
+		s.drainLocked() // e.g. a pending job canceled: the queue shrank
+	}
 	return *j, nil
+}
+
+// drainLocked records one pending job leaving the queue. The history
+// is capped; RetryAfter only ever looks at the recent window.
+func (s *Store) drainLocked() {
+	const keep = 64
+	s.drains = append(s.drains, s.now())
+	if len(s.drains) > keep {
+		s.drains = s.drains[len(s.drains)-keep:]
+	}
+}
+
+// RetryAfter bounds for the backpressure hint.
+const (
+	retryAfterMin    = 1
+	retryAfterMax    = 30
+	retryAfterWindow = time.Minute
+)
+
+// RetryAfter estimates, in whole seconds clamped to [1, 30], how long
+// a submitter rejected with ErrQueueFull should wait before retrying:
+// the time to drain the current backlog at the recently observed drain
+// rate (claims plus cancellations of pending jobs over the last
+// minute). With no drain history — an idle or freshly started daemon —
+// it falls back to the optimistic minimum of 1 second.
+func (s *Store) RetryAfter() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	recent := s.drains
+	for len(recent) > 0 && now.Sub(recent[0]) > retryAfterWindow {
+		recent = recent[1:]
+	}
+	if len(recent) < 2 {
+		return retryAfterMin
+	}
+	span := recent[len(recent)-1].Sub(recent[0])
+	if span <= 0 {
+		return retryAfterMin
+	}
+	rate := float64(len(recent)-1) / span.Seconds() // drains per second
+	secs := int(math.Ceil(float64(s.pendingLocked()) / rate))
+	if secs < retryAfterMin {
+		return retryAfterMin
+	}
+	if secs > retryAfterMax {
+		return retryAfterMax
+	}
+	return secs
 }
 
 func (s *Store) jobDir(id string) string {

@@ -1,0 +1,258 @@
+package jobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClaimOrderAcrossIDRollover pins the FIFO bugfix: job IDs compare
+// by number, so claiming and listing keep submission order when the
+// counter passes 999999 and IDs grow a seventh digit ("job-1000000"
+// sorts before "job-999999" as a string but after it as a job).
+func TestClaimOrderAcrossIDRollover(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.nextID = 999998 // white-box: fast-forward to the rollover boundary
+	var want []string
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit("k", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, j.ID)
+	}
+	if want[1] != "job-999999" || want[2] != "job-1000000" {
+		t.Fatalf("rollover IDs = %v, want job-999999 then job-1000000", want)
+	}
+
+	list := s.List()
+	for i, j := range list {
+		if j.ID != want[i] {
+			t.Fatalf("List order %v, want %v", ids(list), want)
+		}
+	}
+	for i, id := range want {
+		j, ok, err := s.Claim()
+		if err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+		if j.ID != id {
+			t.Fatalf("claim %d = %s, want %s (FIFO broken at rollover)", i, j.ID, id)
+		}
+	}
+
+	// The order survives journal replay too.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if j, err := s2.Submit("k", nil); err != nil || idNumber(j.ID) != 1000002 {
+		t.Fatalf("post-replay submit = %v, %v; want job-1000002", j.ID, err)
+	}
+}
+
+func ids(jobs []Job) []string {
+	out := make([]string, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+// TestRetryAfterDrainRate pins the backpressure hint: 1s with no drain
+// history, backlog/rate under a steady drain, and both clamps.
+func TestRetryAfterDrainRate(t *testing.T) {
+	t.Parallel()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	clock := time.Unix(1000, 0)
+	s.now = func() time.Time { return clock }
+
+	// Empty history: the optimistic minimum.
+	if got := s.RetryAfter(); got != 1 {
+		t.Errorf("RetryAfter with no history = %d, want 1", got)
+	}
+
+	// Steady drain: 10 pending jobs claimed 2 seconds apart (0.5/s),
+	// leaving 10 more pending → hint = ceil(10 / 0.5) = 20s.
+	for i := 0; i < 20; i++ {
+		if _, err := s.Submit("k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		clock = clock.Add(2 * time.Second)
+		if _, ok, err := s.Claim(); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+	if got := s.RetryAfter(); got != 20 {
+		t.Errorf("RetryAfter under steady drain = %d, want 20", got)
+	}
+
+	// Stale samples age out of the window: after 10 idle minutes the
+	// estimator is back to the no-history fallback.
+	clock = clock.Add(10 * time.Minute)
+	if got := s.RetryAfter(); got != 1 {
+		t.Errorf("RetryAfter after history aged out = %d, want 1", got)
+	}
+
+	// Fast drain clamps low: 9 claims 1ms apart → huge rate → 1s.
+	for i := 0; i < 9; i++ {
+		clock = clock.Add(time.Millisecond)
+		if _, ok, err := s.Claim(); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+	if got := s.RetryAfter(); got != 1 {
+		t.Errorf("RetryAfter under fast drain = %d, want 1", got)
+	}
+
+	// Slow drain clamps high: a trickle (2 drains 50s apart against a
+	// rebuilt backlog) pins at 30.
+	for i := 0; i < 40; i++ {
+		if _, err := s.Submit("k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock = clock.Add(10 * time.Minute) // age out the fast-drain burst
+	if _, ok, _ := s.Claim(); !ok {
+		t.Fatal("claim failed")
+	}
+	clock = clock.Add(50 * time.Second)
+	if _, ok, _ := s.Claim(); !ok {
+		t.Fatal("claim failed")
+	}
+	if got := s.RetryAfter(); got != 30 {
+		t.Errorf("RetryAfter under trickle drain = %d, want 30 (clamp)", got)
+	}
+}
+
+// TestCrashRequeueAttemptAndErrorSemantics is the kill-9 satellite: a
+// worker that dies between Claim's journaled transition and any
+// further progress leaves a running job on disk. Reopening the
+// directory (exactly the state a SIGKILLed daemon leaves — the journal
+// is fsynced per transition, so no flush is pending) must requeue it
+// exactly once without touching Attempt; the next Claim increments
+// Attempt; and an Error recorded by a failed attempt must not survive
+// a later successful Done transition, in memory or across replay.
+func TestCrashRequeueAttemptAndErrorSemantics(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s1.Submit("k", json.RawMessage(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed, ok, err := s1.Claim()
+	if err != nil || !ok || claimed.Attempt != 1 {
+		t.Fatalf("claim: %+v %v %v", claimed, ok, err)
+	}
+	// Crash: no Close, no further transitions. The open journal handle
+	// of s1 is the dead process's; we never use s1 again.
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != Pending {
+		t.Fatalf("orphaned job state = %s, want pending", got.State)
+	}
+	if got.Attempt != 1 {
+		t.Errorf("recovery changed Attempt to %d; only Claim may increment it", got.Attempt)
+	}
+	if got.Spec == nil {
+		t.Errorf("requeued job lost its spec")
+	}
+	if n := journalStateCount(t, dir, job.ID, Pending); n != 2 {
+		t.Errorf("journal has %d pending records (submit + requeue), want 2 — the job was requeued %d times", n, n-1)
+	}
+
+	// Second attempt fails; the runner requeues it with the error
+	// recorded (the pool does this for retryable failures).
+	re, ok, err := s2.Claim()
+	if err != nil || !ok || re.Attempt != 2 {
+		t.Fatalf("reclaim: %+v %v %v", re, ok, err)
+	}
+	if _, err := s2.Transition(job.ID, Pending, "attempt 2: worker lost"); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := s2.Get(job.ID); j.Error == "" {
+		t.Fatal("failed attempt's error not recorded")
+	}
+
+	// Third attempt succeeds: Done must clear the stale error.
+	fin, ok, err := s2.Claim()
+	if err != nil || !ok || fin.Attempt != 3 {
+		t.Fatalf("final claim: %+v %v %v", fin, ok, err)
+	}
+	done, err := s2.Transition(job.ID, Done, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Error != "" {
+		t.Errorf("Done job kept stale error %q from a failed attempt", done.Error)
+	}
+
+	// And the cleared error survives replay.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	final, err := s3.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != Done || final.Error != "" || final.Attempt != 3 {
+		t.Errorf("replayed job = %+v, want done, no error, attempt 3", final)
+	}
+	if n := journalStateCount(t, dir, job.ID, Pending); n != 3 {
+		t.Errorf("journal has %d pending records, want 3 (submit + crash requeue + failed-attempt requeue)", n)
+	}
+}
+
+// journalStateCount counts journal records for id in the given state.
+func journalStateCount(t *testing.T, dir, id string, state State) int {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(buf), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec Job
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		if rec.ID == id && rec.State == state {
+			n++
+		}
+	}
+	return n
+}
