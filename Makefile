@@ -2,8 +2,10 @@
 # must pass: gofmt + vet + build + tests + the race detector on the
 # packages that run goroutines (the parallel sweep engine in enumerate,
 # the parallel-BFS explorer it drives — whose multi-worker determinism
-# tests run under -race here — the lincheck fuzzer, and the obs
-# metrics layer they all feed).
+# tests run under -race here — the lincheck fuzzer, the obs metrics
+# layer they all feed, and the cluster coordinator, whose
+# memoized-vs-unmemoized byte-equivalence suite exercises the shared
+# memo table across concurrent shard workers).
 
 GO ?= go
 
@@ -37,7 +39,7 @@ test:
 # an uninterrupted run) is exactly the kind of cross-goroutine
 # determinism claim -race exists to audit.
 race:
-	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs ./internal/store
+	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs ./internal/store ./internal/cluster
 	EXPLORE_SYMMETRY_WORKERS=1 $(GO) test -race -run 'TestSymmetry' ./internal/explore
 	EXPLORE_SYMMETRY_WORKERS=4 $(GO) test -race -run 'TestSymmetry' ./internal/explore
 	$(GO) test -race -count=1 -run 'TestKillResume|TestResume|TestContextCancel|TestDiskStore' ./internal/explore
@@ -66,6 +68,11 @@ bench:
 # verified per second, i.e. the unreduced state count over the reduced
 # run's wall time. benchmem_raw snapshots the off-vs-ids allocs/op
 # rows of BenchmarkModelCheckDAC (the key-scratch pooling measurement).
+# BENCH_experiments.json composes (bench_experiments.jq) the -quick
+# battery's metrics report with the -bench-sweeps memoization
+# comparison: the Thm 5.2 and Thm 7.1 reference sweeps timed with the
+# cross-candidate memoizer off and on, with derived candidates_per_sec,
+# speedup, and the in-process report byte-identity verdict.
 SEED_STATES_PER_SEC = 39497.2975169156
 bench-json:
 	$(GO) run ./cmd/explore -protocol alg2 -n 4 -workers 1 -metrics .bench_explore_w1.json > /dev/null
@@ -83,7 +90,11 @@ bench-json:
 		-f bench_explore.jq > BENCH_explore.json
 	rm -f .bench_explore_w1.json .bench_explore_w4.json .bench_sym_n4_ids.json \
 		.bench_sym_n4_values.json .bench_sym_n5_off.json .bench_sym_n5_ids.json .bench_sym_allocs.txt
-	$(GO) run ./cmd/experiments -quick -metrics BENCH_experiments.json > /dev/null
+	$(GO) run ./cmd/experiments -quick -metrics .bench_experiments_quick.json > /dev/null
+	$(GO) run ./cmd/experiments -bench-sweeps .bench_sweeps.json
+	jq -n --slurpfile quick .bench_experiments_quick.json --slurpfile sweeps .bench_sweeps.json \
+		-f bench_experiments.jq > BENCH_experiments.json
+	rm -f .bench_experiments_quick.json .bench_sweeps.json
 	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=7/checkpoint' -benchtime 2x . > .bench_checkpoint.txt
 	jq -n --rawfile bench .bench_checkpoint.txt -f bench_checkpoint.jq > BENCH_checkpoint.json
 	rm -f .bench_checkpoint.txt
@@ -105,6 +116,17 @@ bench-json:
 # baseline in the same commit as any intentional engine change that
 # shifts it.
 BASELINE_STATES_PER_SEC = 20527.4853259108
+# The sweep gate guards the memoized falsification engine the same
+# way: the Thm 5.2 reference sweep with cross-candidate memoization on
+# must hold at least 90% of the committed floor rate (again the FLOOR
+# of rates sampled on a loaded single-core runner — observed spread
+# 41k-51k candidates/sec; typical hosts sit well above), and the
+# memoized and unmemoized engines must render byte-identical reports
+# on both reference sweeps in the same run. The gate uses the SMALL
+# sweep deliberately: its fixed per-sweep costs dominate, so a
+# regression in the memo hit path (key assembly, table probes) shows
+# up here first rather than being hidden by Thm 7.1's dedup leverage.
+BASELINE_SWEEP_CPS = 41156.5
 bench-gate:
 	$(GO) run ./cmd/explore -protocol alg2 -n 7 -metrics .bench_gate.json > /dev/null
 	@jq -e --argjson base $(BASELINE_STATES_PER_SEC) \
@@ -112,6 +134,12 @@ bench-gate:
 		|| { echo "bench-gate: explore.states_per_sec $$(jq '.rates."explore.states_per_sec"' .bench_gate.json) fell below 90% of baseline $(BASELINE_STATES_PER_SEC)"; rm -f .bench_gate.json; exit 1; }
 	@echo "bench-gate: $$(jq '.rates."explore.states_per_sec"' .bench_gate.json) states/sec (baseline $(BASELINE_STATES_PER_SEC))"
 	@rm -f .bench_gate.json
+	$(GO) run ./cmd/experiments -bench-sweeps .bench_gate_sweeps.json
+	@jq -e --argjson base $(BASELINE_SWEEP_CPS) \
+		'(.sweeps | map(select(.id == "thm52"))[0].memo_on.candidates_per_sec >= $$base * 0.9) and (.sweeps | all(.render_identical))' .bench_gate_sweeps.json > /dev/null \
+		|| { echo "bench-gate: memoized thm52 sweep $$(jq '.sweeps | map(select(.id == "thm52"))[0].memo_on.candidates_per_sec' .bench_gate_sweeps.json) candidates/sec below 90% of baseline $(BASELINE_SWEEP_CPS), or reports not byte-identical"; rm -f .bench_gate_sweeps.json; exit 1; }
+	@echo "bench-gate: $$(jq '.sweeps | map(select(.id == "thm52"))[0].memo_on.candidates_per_sec' .bench_gate_sweeps.json) memoized candidates/sec (baseline $(BASELINE_SWEEP_CPS)), thm71 speedup $$(jq '.sweeps | map(select(.id == "thm71"))[0].speedup' .bench_gate_sweeps.json)x"
+	@rm -f .bench_gate_sweeps.json
 
 # bench-schema is verify's evidence-file guard: BENCH_obs.json (the
 # committed instrumentation-overhead measurement, regenerated by
@@ -125,6 +153,9 @@ bench-schema:
 	@jq -e -f bench_cluster.jq BENCH_cluster.json > /dev/null \
 		|| { echo "bench-schema: BENCH_cluster.json missing or fails the cluster SLO gate (regenerate with make loadtest)"; exit 1; }
 	@echo "bench-schema: BENCH_cluster.json ok (identical=$$(jq -r .sweep.report_identical BENCH_cluster.json), p99=$$(jq -r .load.submit_ms.p99 BENCH_cluster.json)ms, 429s=$$(jq -r .load.rejected_429 BENCH_cluster.json))"
+	@jq -e '(.sweeps.thm52.candidates == 49) and (.sweeps.thm71.candidates == 1116) and .sweeps.thm52.render_identical and .sweeps.thm71.render_identical and (.sweeps.thm71.memo_on.candidates_per_sec > 0) and (.sweeps.thm71.memo_off.candidates_per_sec > 0) and (.memoization.render_identical == true) and (.quick.counters."sweep.sweeps" >= 1)' BENCH_experiments.json > /dev/null \
+		|| { echo "bench-schema: BENCH_experiments.json missing the memoization sweep comparison or reports not byte-identical (regenerate with make bench-json)"; exit 1; }
+	@echo "bench-schema: BENCH_experiments.json ok (thm71 speedup $$(jq -r .memoization.thm71_speedup BENCH_experiments.json)x, identical=$$(jq -r .memoization.render_identical BENCH_experiments.json))"
 
 # loadtest stands up a real cluster on this host — one coordinator
 # dacd in front of two worker dacds, plus a plain daemon as the

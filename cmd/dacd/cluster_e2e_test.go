@@ -47,7 +47,12 @@ func rawResult(t *testing.T, base, id string) []byte {
 // two worker daemons, one of which is kill -9ed mid-sweep, must finish
 // with a merged report byte-identical to the same sweep run on a
 // single plain daemon — no lost ranges, no duplicated ranges, and the
-// retry visible in the coordinator's /metrics.
+// retry visible in the coordinator's /metrics. The baseline runs with
+// cross-candidate memoization explicitly DISABLED while the cluster
+// runs with it on (the default), so the byte-equality also certifies
+// that a memoized sweep losing a worker mid-shard — its memo table
+// mid-population, its verdicts partly attributed — retries and merges
+// to exactly the plain engine's bytes.
 func TestClusterShardRetryE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-daemon e2e")
@@ -58,17 +63,21 @@ func TestClusterShardRetryE2E(t *testing.T) {
 	coord := startDaemon(t, t.TempDir(), "-coordinator", "-workers", w1.base+","+w2.base)
 	single := startDaemon(t, t.TempDir())
 
-	// Baseline: the same job spec on a plain daemon, in-process, fast.
-	spec := map[string]any{"sweep": cluster.Thm71(), "shards": 8}
-	base := submitJob(t, single.base, "sweep", spec)
+	// Baseline: the same sweep on a plain daemon, in-process, with the
+	// memoizer off — the unmemoized engine is the reference bytes.
+	memoOff := false
+	offSpec := cluster.Thm71()
+	offSpec.Memo = &memoOff
+	base := submitJob(t, single.base, "sweep", map[string]any{"sweep": offSpec, "shards": 8})
 	waitJob(t, single.base, base.ID, jobs.Done, 2*time.Minute)
 	want := rawResult(t, single.base, base.ID)
 	if !bytes.Contains(want, []byte(`"candidates": 1116`)) {
 		t.Fatalf("baseline sweep is not the 1116-candidate Thm 7.1 sweep:\n%.400s", want)
 	}
 
-	// Cluster run, paced so each shard takes long enough to die under.
-	spec["pace_ms"] = 5
+	// Cluster run: memoized (the default), paced so each shard takes
+	// long enough to die under.
+	spec := map[string]any{"sweep": cluster.Thm71(), "shards": 8, "pace_ms": 5}
 	cj := submitJob(t, coord.base, "sweep", spec)
 	waitJob(t, coord.base, cj.ID, jobs.Running, 30*time.Second)
 	time.Sleep(1 * time.Second) // let shards land on both workers

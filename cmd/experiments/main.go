@@ -7,6 +7,7 @@
 // Usage:
 //
 //	experiments [-quick] [-v] [-workers N] [-symmetry off|ids|values]
+//	            [-memo=false] [-bench-sweeps out.json]
 //	            [-metrics out.json] [-events out.jsonl]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-checkpoint run.ckpt [-checkpoint-every L]]
@@ -14,6 +15,12 @@
 // -quick trims the heavier rows (depth-2 sweeps, n >= 5 state spaces).
 // -workers sets the goroutine count for the falsification sweeps
 // (default: GOMAXPROCS); verdicts are identical at every setting.
+// -memo=false disables cross-candidate memoization in the sweeps (an
+// ablation knob: reports are byte-identical either way, only the rate
+// changes). -bench-sweeps FILE runs only the two reference sweeps
+// (Thm 5.2 and Thm 7.1) memoized and unmemoized, writes a JSON
+// comparison — per-run timings, candidates/sec, memo counters, and an
+// in-process render byte-equality check — to FILE, and exits.
 // -symmetry ids|values model-checks on the symmetry-reduced
 // configuration graph (verdicts are unchanged; rows whose system or
 // analysis rejects the reduction fall back to unreduced and say so —
@@ -83,6 +90,7 @@ type runner struct {
 	quick     bool
 	verbose   bool
 	workers   int
+	memo      bool
 	symmetry  explore.Symmetry
 	out       io.Writer
 	sink      *obs.Sink
@@ -105,10 +113,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "trim the heavier experiments")
 	verbose := fs.Bool("v", false, "print each row as it finishes, with sweep progress")
 	workers := fs.Int("workers", 0, "worker goroutines per falsification sweep (default GOMAXPROCS)")
+	memo := fs.Bool("memo", true, "cross-candidate memoization in the falsification sweeps (reports are byte-identical either way)")
+	benchSweeps := fs.String("bench-sweeps", "", "run only the sweep memoization benchmark, write its JSON here, and exit")
 	symmetry := fs.String("symmetry", "off", "symmetry reduction for the model checks: off | ids | values (rows whose system rejects it fall back to unreduced)")
 	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *benchSweeps != "" {
+		return runBenchSweeps(*benchSweeps, *workers, stderr)
 	}
 	symMode, err := explore.ParseSymmetry(*symmetry)
 	if err != nil {
@@ -136,6 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick:     *quick,
 		verbose:   *verbose,
 		workers:   *workers,
+		memo:      *memo,
 		symmetry:  symMode,
 		out:       stdout,
 		sink:      sess.Sink,
@@ -340,10 +354,10 @@ func binaryVectors(n int) [][]value.Value {
 	return out
 }
 
-// sweepOptions wires the -workers flag and, with -v, live progress into
-// a falsification sweep.
+// sweepOptions wires the -workers and -memo flags and, with -v, live
+// progress into a falsification sweep.
 func (r *runner) sweepOptions(id string) enumerate.SweepOptions {
-	opts := enumerate.SweepOptions{Workers: r.workers, Symmetry: r.symmetry, Obs: r.sink, Events: r.events, Ctx: r.ctx}
+	opts := enumerate.SweepOptions{Workers: r.workers, Symmetry: r.symmetry, DisableMemo: !r.memo, Obs: r.sink, Events: r.events, Ctx: r.ctx}
 	if r.verbose {
 		opts.OnProgress = func(p enumerate.Progress) {
 			if p.Candidates%1000 == 0 {
@@ -454,6 +468,24 @@ func (r *runner) e7SamePower() {
 	}
 }
 
+// theorem71Family is the Theorem 7.1 negative base {2-consensus,
+// register} with its 3-entry menu — the 1116-candidate sweep.
+func theorem71Family() *enumerate.Family {
+	return &enumerate.Family{
+		Objects: []spec.Spec{objects.NewConsensus(2), objects.NewRegister()},
+		Menu: []enumerate.Invoke{
+			{Obj: 0, Method: value.MethodPropose, Arg: enumerate.ArgInput},
+			{Obj: 1, Method: value.MethodWrite, Arg: enumerate.ArgInput},
+			{Obj: 1, Method: value.MethodRead},
+		},
+		Depth: 1,
+		Actions: []enumerate.Action{
+			enumerate.ActDecideInput, enumerate.ActDecideLast, enumerate.ActDecideFirst,
+			enumerate.ActDecideZero, enumerate.ActDecideOne, enumerate.ActRetry,
+		},
+	}
+}
+
 // e8Theorem71: Observation 5.1(b) route — (n,m)-PAC solves n-DAC — and
 // the unimplementability shape: no bounded-family candidate over
 // {2-consensus, register} (Theorem 7.1's base without the PAC object)
@@ -471,19 +503,7 @@ func (r *runner) e8Theorem71() {
 	}
 	r.add("E8", "Thm 7.1 (+): (4,2)-PAC face solves 3-DAC", "n=3, m=2", ok, detail, time.Since(start))
 
-	fam := &enumerate.Family{
-		Objects: []spec.Spec{objects.NewConsensus(2), objects.NewRegister()},
-		Menu: []enumerate.Invoke{
-			{Obj: 0, Method: value.MethodPropose, Arg: enumerate.ArgInput},
-			{Obj: 1, Method: value.MethodWrite, Arg: enumerate.ArgInput},
-			{Obj: 1, Method: value.MethodRead},
-		},
-		Depth: 1,
-		Actions: []enumerate.Action{
-			enumerate.ActDecideInput, enumerate.ActDecideLast, enumerate.ActDecideFirst,
-			enumerate.ActDecideZero, enumerate.ActDecideOne, enumerate.ActRetry,
-		},
-	}
+	fam := theorem71Family()
 	if r.stopped() {
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"setagree/internal/enumerate"
@@ -26,10 +27,46 @@ type ShardJob struct {
 	PaceMs int `json:"pace_ms,omitempty"`
 }
 
+// preparedCache memoizes Prepare() by spec JSON, so the many shard
+// jobs of one coordinated sweep hitting the same daemon share a single
+// Prepared — and with it the memo table, so verdict classes learned
+// checking one shard accelerate every later shard of the same sweep.
+// Sharing is transparent: Prepare is deterministic in the spec, and
+// the memo only caches verdicts that re-checking would reproduce.
+// Small and unordered — a daemon serves few distinct sweeps at a time;
+// on overflow the cache simply resets.
+var (
+	preparedMu    sync.Mutex
+	preparedCache = map[string]*enumerate.Prepared{}
+)
+
+const preparedCacheCap = 8
+
+func preparedFor(sp SweepSpec) (*enumerate.Prepared, error) {
+	key, err := json.Marshal(sp)
+	if err != nil {
+		return nil, err
+	}
+	preparedMu.Lock()
+	defer preparedMu.Unlock()
+	if p, ok := preparedCache[string(key)]; ok {
+		return p, nil
+	}
+	p, err := sp.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	if len(preparedCache) >= preparedCacheCap {
+		preparedCache = map[string]*enumerate.Prepared{}
+	}
+	preparedCache[string(key)] = p
+	return p, nil
+}
+
 // RunShard checks one shard in-process: the worker half of the
 // cluster protocol, also used directly by dacd's sweep-shard runner.
 func RunShard(ctx context.Context, job ShardJob, sink *obs.Sink, events *obs.Emitter) (*ShardReport, error) {
-	p, err := job.Sweep.Prepare()
+	p, err := preparedFor(job.Sweep)
 	if err != nil {
 		return nil, err
 	}
@@ -123,12 +160,32 @@ func (o Options) shardCount(candidates int) int {
 	return n
 }
 
-// shardBounds splits [0, candidates) into n near-equal ranges.
-func shardBounds(candidates, n int) [][2]int {
+// shardBounds splits [0, candidates) into n near-equal ranges with
+// interior boundaries rounded to multiples of rowWidth, so the
+// candidates sharing a leading shape (one prefix-trie row) land in one
+// shard and the memoizer reuses its snapshots instead of rebuilding
+// them across the cut. Alignment is an efficiency hint only — verdicts
+// are range-independent, so any partition merges identically.
+func shardBounds(candidates, n, rowWidth int) [][2]int {
+	if rowWidth < 1 {
+		rowWidth = 1
+	}
 	bounds := make([][2]int, 0, n)
 	lo := 0
 	for i := 0; i < n; i++ {
 		hi := lo + (candidates-lo)/(n-i)
+		if i < n-1 {
+			if r := hi % rowWidth; r != 0 {
+				// Round to the nearer row boundary, staying in [lo, candidates].
+				if 2*r >= rowWidth && hi+rowWidth-r <= candidates {
+					hi += rowWidth - r
+				} else if hi-r >= lo {
+					hi -= r
+				}
+			}
+		} else {
+			hi = candidates
+		}
 		bounds = append(bounds, [2]int{lo, hi})
 		lo = hi
 	}
@@ -163,7 +220,7 @@ func run(ctx context.Context, sp SweepSpec, o Options) (*SweepReport, error) {
 		return nil, err
 	}
 	n := p.Candidates()
-	bounds := shardBounds(n, o.shardCount(n))
+	bounds := shardBounds(n, o.shardCount(n), p.RowWidth())
 	if len(o.Workers) == 0 {
 		return runLocal(ctx, sp, p, bounds, o)
 	}

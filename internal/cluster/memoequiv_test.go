@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestClusterMemoByteEquivalence pins the memoizer's transparency
+// promise at the cluster level: for both reference sweeps, at every
+// combination of shard count, symmetry mode, and memoization setting,
+// the merged SweepReport renders byte-identical output. Shard
+// boundaries decide which CheckRange call first records each
+// equivalence class and which hits it — so this also exercises the
+// daemon-side Prepared/memo-table sharing across shard jobs
+// (preparedFor) with verdict attribution crossing shard cuts.
+func TestClusterMemoByteEquivalence(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name       string
+		sp         SweepSpec
+		candidates int
+	}{
+		{"thm52", Thm52(), 49},
+		{"thm71", Thm71(), 1116},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, sym := range []string{"", "ids"} {
+				var base []byte
+				baseFrom := ""
+				for _, shards := range []int{1, 3} {
+					for _, memo := range []bool{false, true} {
+						sp := tc.sp
+						sp.Symmetry = sym
+						m := memo
+						sp.Memo = &m
+						rep, err := Run(context.Background(), sp, Options{Shards: shards})
+						if err != nil {
+							t.Fatalf("sym=%q shards=%d memo=%v: %v", sym, shards, memo, err)
+						}
+						if rep.Candidates != tc.candidates {
+							t.Fatalf("sym=%q shards=%d memo=%v: candidates = %d, want %d",
+								sym, shards, memo, rep.Candidates, tc.candidates)
+						}
+						buf, err := rep.Render()
+						if err != nil {
+							t.Fatal(err)
+						}
+						name := fmt.Sprintf("sym=%q shards=%d memo=%v", sym, shards, memo)
+						if base == nil {
+							base, baseFrom = buf, name
+						} else if !bytes.Equal(base, buf) {
+							t.Errorf("%s renders differently from %s:\n%s\nvs\n%s",
+								name, baseFrom, buf, base)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardMemoByteEquivalence pins the same promise for a single
+// interior shard of the Theorem 7.1 sweep, checked directly through
+// the worker entry point: a memoized shard's JSON result is
+// byte-identical to the unmemoized one. The range deliberately starts
+// and ends off row boundaries (RowWidth 31), so memoized verdict
+// attribution is exercised at partial prefix rows.
+func TestShardMemoByteEquivalence(t *testing.T) {
+	t.Parallel()
+	run := func(memo bool) []byte {
+		job := ShardJob{Sweep: Thm71(), Lo: 300, Hi: 651}
+		job.Sweep.Memo = &memo
+		rep, err := RunShard(context.Background(), job, nil, nil)
+		if err != nil {
+			t.Fatalf("memo=%v: %v", memo, err)
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	on, off := run(true), run(false)
+	if !bytes.Equal(on, off) {
+		t.Errorf("memoized shard result differs:\n%s\nvs\n%s", on, off)
+	}
+}

@@ -49,6 +49,12 @@ type SweepSpec struct {
 	SoloSteps int `json:"solo_steps,omitempty"`
 	// Symmetry is the reduction mode: "" or "off", "ids", "values".
 	Symmetry string `json:"symmetry,omitempty"`
+	// Memo toggles cross-candidate memoization (prefix-trie scheduling,
+	// forked explorers, canonical-program dedup). Nil or true leaves it
+	// on — memoized and unmemoized shards produce byte-identical
+	// reports, so this is an ablation/benchmarking knob, not a
+	// correctness one. False disables it.
+	Memo *bool `json:"memo,omitempty"`
 }
 
 // TaskSpec names a task.
@@ -107,6 +113,30 @@ func Thm71() SweepSpec {
 	}
 }
 
+// Thm52 is the Theorem 5.2 positive sweep (EXPERIMENTS E5): the
+// 49-candidate depth-1 symmetric family over {2-consensus, register,
+// 2-SA} checked against 3-consensus — the small reference sweep, used
+// where per-sweep fixed costs need to stay visible (bench-gate).
+func Thm52() SweepSpec {
+	return SweepSpec{
+		Task: TaskSpec{Kind: "consensus", N: 3},
+		Objects: []ObjectSpec{
+			{Kind: "consensus", N: 2}, {Kind: "register"}, {Kind: "setagreement", K: 2},
+		},
+		Menu: []InvokeSpec{
+			{Obj: 0, Method: "propose", Arg: "input"},
+			{Obj: 1, Method: "write", Arg: "input"},
+			{Obj: 1, Method: "read"},
+			{Obj: 2, Method: "propose", Arg: "input"},
+		},
+		Depth: 1,
+		Actions: []string{
+			"decide-input", "decide-last", "decide-first",
+			"decide-0", "decide-1", "retry",
+		},
+	}
+}
+
 func (t TaskSpec) build() (task.Task, error) {
 	switch t.Kind {
 	case "dac":
@@ -139,8 +169,15 @@ func (o ObjectSpec) build() (spec.Spec, error) {
 		}
 		return objects.NewConsensus(o.N), nil
 	case "setagreement":
-		if o.N < 1 || o.K < 1 {
-			return nil, fmt.Errorf("cluster: setagreement object needs n, k >= 1, got n=%d k=%d", o.N, o.K)
+		if o.K < 1 {
+			return nil, fmt.Errorf("cluster: setagreement object needs k >= 1, got k=%d", o.K)
+		}
+		if o.N == 0 {
+			// No process bound: the paper's k-SA object (TwoSA at k=2).
+			return objects.SetAgreement{N: objects.Unbounded, K: o.K}, nil
+		}
+		if o.N < 1 {
+			return nil, fmt.Errorf("cluster: setagreement object needs n >= 1 or 0 for unbounded, got n=%d", o.N)
 		}
 		return objects.NewSetAgreement(o.N, o.K), nil
 	case "queue":
@@ -226,6 +263,7 @@ func (sp SweepSpec) Options() (enumerate.SweepOptions, error) {
 	opts := enumerate.SweepOptions{
 		MaxStatesPerCandidate: sp.MaxStatesPerCandidate,
 		SoloSteps:             sp.SoloSteps,
+		DisableMemo:           sp.Memo != nil && !*sp.Memo,
 	}
 	if sp.Symmetry != "" {
 		mode, err := explore.ParseSymmetry(sp.Symmetry)

@@ -30,6 +30,15 @@ type SweepOptions struct {
 	// DisableSoloFilter skips the cheap solo prefilter and model-checks
 	// every shape (the ablation knob: measures what the prefilter buys).
 	DisableSoloFilter bool
+	// DisableMemo turns off cross-candidate memoization and prefix
+	// forking (see memo.go), model-checking every candidate from
+	// scratch. Reports are byte-identical either way — memoization
+	// changes how verdicts are computed, never what they are — so this
+	// is the equivalence-testing and benchmarking knob, not a
+	// correctness one. Memoization is also bypassed transparently for
+	// candidates outside the memoizer's soundness envelope and under
+	// SymmetryValues reduction.
+	DisableMemo bool
 	// Workers is the number of goroutines model-checking candidates
 	// (default runtime.GOMAXPROCS(0)). The Report is identical for every
 	// worker count: results are aggregated by candidate index.
@@ -59,6 +68,13 @@ type SweepOptions struct {
 	// also threaded into every candidate's model check, accumulating
 	// the explore.* counters across the whole sweep. Nil disables
 	// metrics at zero cost.
+	//
+	// With memoization on, the verdict counters and sweep.states stay
+	// schedule-independent, but sweep.memo_hits, sweep.dedup_candidates,
+	// sweep.fork_states_saved, the sweep.candidate timer, and the
+	// explore.* counters depend on which canonical-equal candidate a
+	// worker reached first; set DisableMemo for fully deterministic
+	// snapshots.
 	Obs *obs.Sink
 	// Events, when set, receives one sweep.candidate JSONL event per
 	// checked candidate (index, outcome, states, elapsed_ns; emitted in
@@ -153,7 +169,7 @@ func FalsifyDAC(f *Family, n int, inputVectors [][]value.Value, opts SweepOption
 		return nil, err
 	}
 	rep := &Report{Pruned: p.pruned}
-	if err := sweep(rep, p.cands, p.objs, p.tsk, inputVectors, opts); err != nil {
+	if err := sweep(rep, p, inputVectors, opts); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -168,7 +184,7 @@ func FalsifySymmetric(f *Family, tsk task.Task, inputVectors [][]value.Value, op
 		return nil, err
 	}
 	rep := &Report{Pruned: p.pruned}
-	if err := sweep(rep, p.cands, p.objs, p.tsk, inputVectors, opts); err != nil {
+	if err := sweep(rep, p, inputVectors, opts); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -208,22 +224,47 @@ type outcome struct {
 	states       int
 	symFallback  bool
 	err          error
+	// fullHit marks a candidate served entirely from the memo table —
+	// no exploration ran, so its sweep.candidate timer sample is
+	// skipped (a near-zero duration would skew the latency profile).
+	fullHit bool
+	// vioPending marks a memo-served refutation whose failure carries a
+	// nil Violation; vioMode is the symmetry mode its re-derivation
+	// must run under (see materializeViolation).
+	vioPending bool
+	vioMode    explore.Symmetry
+}
+
+// memoStats is a point-in-time copy of a run's memoization counters,
+// carried into the terminal sweep event.
+type memoStats struct {
+	memoHits        int64
+	dedupCandidates int64
+	forkStatesSaved int64
+}
+
+func (rs *runState) memoStats() memoStats {
+	return memoStats{
+		memoHits:        rs.stats.memoHits.Load(),
+		dedupCandidates: rs.stats.dedupCandidates.Load(),
+		forkStatesSaved: rs.stats.forkStatesSaved.Load(),
+	}
 }
 
 // sweep fans the candidates out to opts.Workers goroutines and folds
 // the outcomes into rep in candidate-index order, so the Report is
 // byte-identical for every worker count. The first hard error cancels
 // the remaining queue; the lowest-indexed recorded error is returned.
-func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
-	inputVectors [][]value.Value, opts SweepOptions,
-) error {
+func sweep(rep *Report, p *Prepared, inputVectors [][]value.Value, opts SweepOptions) error {
 	opts.Obs.Counter("sweep.sweeps").Inc()
 	opts.Obs.Counter("sweep.pruned").Add(int64(rep.Pruned))
-	outcomes, err := runCandidates(cands, objs, tsk, inputVectors, 0, rep.Pruned, opts)
+	outcomes, stats, err := runCandidates(p, 0, len(p.cands), inputVectors, opts)
 	if err != nil {
 		return err
 	}
-	rep.Candidates = len(cands)
+	rep.Candidates = len(p.cands)
+	var sample *outcome
+	sampleIdx := -1
 	for i := range outcomes {
 		o := &outcomes[i]
 		rep.States += o.states
@@ -234,11 +275,17 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 		case o.failure != nil:
 			if rep.SampleFailure == nil {
 				rep.SampleFailure = o.failure
+				sample, sampleIdx = o, i
 			}
 		case o.inconclusive != nil:
 			rep.Inconclusive = append(rep.Inconclusive, *o.inconclusive)
 		case o.solver:
-			rep.Solvers = append(rep.Solvers, cands[i].asn)
+			rep.Solvers = append(rep.Solvers, p.cands[i].asn)
+		}
+	}
+	if sample != nil && sample.vioPending {
+		if err := p.materializeViolation(p.cands[sampleIdx], sample, opts); err != nil {
+			return terminalError(opts, stats, err)
 		}
 	}
 	if opts.Events != nil {
@@ -249,24 +296,47 @@ func sweep(rep *Report, cands []candidate, objs []spec.Spec, tsk task.Task,
 			"inconclusive":       len(rep.Inconclusive),
 			"solvers":            len(rep.Solvers),
 			"symmetry_fallbacks": rep.SymmetryFallbacks,
+			"memo_hits":          stats.memoHits,
+			"dedup_candidates":   stats.dedupCandidates,
+			"fork_states_saved":  stats.forkStatesSaved,
 		})
 	}
 	return nil
 }
 
+// terminalError accounts a sweep-level failure and emits the single
+// sweep.error terminal event, preserving the one-terminal-event
+// contract for errors discovered after runCandidates returned.
+func terminalError(opts SweepOptions, stats memoStats, err error) error {
+	opts.Obs.Counter("sweep.errors").Inc()
+	if opts.Events != nil {
+		opts.Events.Emit("sweep.error", obs.Fields{
+			"error":             err.Error(),
+			"memo_hits":         stats.memoHits,
+			"dedup_candidates":  stats.dedupCandidates,
+			"fork_states_saved": stats.forkStatesSaved,
+		})
+	}
+	return err
+}
+
 // runCandidates is the worker-pool core shared by full sweeps and
-// shard checks: it fans cands out to opts.Workers goroutines and
-// returns the per-candidate outcomes indexed by position. Metric
+// shard checks: it fans candidates [lo, hi) out to opts.Workers
+// goroutines and returns the per-candidate outcomes indexed by
+// position. Workers claim candidates in the runState's order — prefix-
+// grouped when the trie engine is on — but outcomes always land at
+// their candidate's position, so folding is order-blind. Metric
 // handles resolve once per call; a nil Obs hands out nil (no-op)
 // handles, so the uninstrumented path pays nothing. Per-candidate
-// sweep.candidate events carry indexBase+i, so a shard's events use
-// global candidate indices. On a hard error or cancellation it emits
-// one sweep.error terminal event and returns the lowest-indexed error
-// (the terminal-event contract matches explore's: callers that finish
+// sweep.candidate events carry lo+i, so a shard's events use global
+// candidate indices. On a hard error or cancellation it emits one
+// sweep.error terminal event and returns the lowest-indexed error (the
+// terminal-event contract matches explore's: callers that finish
 // normally emit the single sweep.done themselves).
-func runCandidates(cands []candidate, objs []spec.Spec, tsk task.Task,
-	inputVectors [][]value.Value, indexBase, pruned int, opts SweepOptions,
-) ([]outcome, error) {
+func runCandidates(p *Prepared, lo, hi int, inputVectors [][]value.Value, opts SweepOptions,
+) ([]outcome, memoStats, error) {
+	rs := newRunState(p, lo, hi, inputVectors, opts)
+	cands := rs.cands
 	outcomes := make([]outcome, len(cands))
 	workers := opts.Workers
 	if workers > len(cands) {
@@ -289,7 +359,7 @@ func runCandidates(cands []candidate, objs []spec.Spec, tsk task.Task,
 		failed atomic.Bool
 		wg     sync.WaitGroup
 		mu     sync.Mutex
-		prog   = Progress{Pruned: pruned}
+		prog   = Progress{Pruned: p.pruned}
 	)
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
@@ -297,18 +367,19 @@ func runCandidates(cands []candidate, objs []spec.Spec, tsk task.Task,
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1))
-				if i >= len(cands) || failed.Load() {
+				k := int(next.Add(1))
+				if k >= len(cands) || failed.Load() {
 					return
 				}
 				if ctx := opts.Ctx; ctx != nil && ctx.Err() != nil {
 					return
 				}
+				i := rs.order[k]
 				var begin time.Time
 				if timed {
 					begin = time.Now()
 				}
-				out := checkCandidate(cands[i], objs, tsk, inputVectors, opts)
+				out := rs.check(i)
 				outcomes[i] = out
 				if out.err != nil {
 					failed.Store(true)
@@ -318,6 +389,10 @@ func runCandidates(cands []candidate, objs []spec.Spec, tsk task.Task,
 				statesCounter.Add(int64(out.states))
 				if out.symFallback {
 					fallbackCounter.Inc()
+				}
+				if out.fullHit {
+					rs.stats.dedupCandidates.Add(1)
+					rs.dedupCounter.Inc()
 				}
 				verdict := "refuted"
 				switch {
@@ -332,13 +407,19 @@ func runCandidates(cands []candidate, objs []spec.Spec, tsk task.Task,
 				}
 				if timed {
 					elapsed := time.Since(begin)
-					candTimer.Observe(elapsed)
+					// Memo-hit candidates ran no exploration; recording
+					// their near-zero durations would collapse the timer's
+					// percentiles, so only explored candidates sample it.
+					if !out.fullHit {
+						candTimer.Observe(elapsed)
+					}
 					if opts.Events != nil {
 						opts.Events.Emit("sweep.candidate", obs.Fields{
-							"index":      indexBase + i,
+							"index":      lo + i,
 							"outcome":    verdict,
 							"states":     out.states,
 							"elapsed_ns": elapsed.Nanoseconds(),
+							"memo":       out.fullHit,
 						})
 					}
 				}
@@ -359,12 +440,8 @@ func runCandidates(cands []candidate, objs []spec.Spec, tsk task.Task,
 
 	// Counters for completed candidates were flushed live above, so a
 	// failed or cancelled run still reports its partial work.
-	fail := func(err error) ([]outcome, error) {
-		opts.Obs.Counter("sweep.errors").Inc()
-		if opts.Events != nil {
-			opts.Events.Emit("sweep.error", obs.Fields{"error": err.Error()})
-		}
-		return nil, err
+	fail := func(err error) ([]outcome, memoStats, error) {
+		return nil, rs.memoStats(), terminalError(opts, rs.memoStats(), err)
 	}
 	for i := range outcomes {
 		if err := outcomes[i].err; err != nil {
@@ -374,7 +451,7 @@ func runCandidates(cands []candidate, objs []spec.Spec, tsk task.Task,
 	if ctx := opts.Ctx; ctx != nil && ctx.Err() != nil {
 		return fail(fmt.Errorf("enumerate: sweep interrupted: %w", ctx.Err()))
 	}
-	return outcomes, nil
+	return outcomes, rs.memoStats(), nil
 }
 
 // checkCandidate model-checks one assignment on every input vector.

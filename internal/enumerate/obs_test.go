@@ -15,6 +15,13 @@ import (
 // is confined to timer totals, which are deliberately excluded. Run
 // under -race this also certifies the sweep's concurrent counter
 // updates.
+//
+// Memoization is disabled here on purpose: with the memo on, which
+// candidate of an equivalence class does the concrete exploration is a
+// race between workers, so explore.* totals, sweep.memo_hits /
+// sweep.dedup_candidates, and the sweep.candidate timer count become
+// schedule-dependent (the verdict counters and Report bytes do not —
+// TestObsMemoDeterministicSubset pins that).
 func TestObsSnapshotDeterminism(t *testing.T) {
 	t.Parallel()
 	f := theorem42Family(1)
@@ -22,7 +29,7 @@ func TestObsSnapshotDeterminism(t *testing.T) {
 	sweep := func(workers int) obs.Snapshot {
 		sink := obs.NewSink()
 		if _, err := enumerate.FalsifyDAC(f, 3, vectors,
-			enumerate.SweepOptions{Workers: workers, Obs: sink}); err != nil {
+			enumerate.SweepOptions{Workers: workers, Obs: sink, DisableMemo: true}); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		return sink.Snapshot()
@@ -65,4 +72,48 @@ func TestObsSnapshotDeterminism(t *testing.T) {
 	// not change them either.
 	check("workers=2", base, sweep(2))
 	check("workers=8", base, sweep(8))
+}
+
+// TestObsMemoDeterministicSubset pins the memoized sweep's determinism
+// contract: verdict counters (sweep.candidates / refuted / solvers /
+// inconclusive / symmetry_fallbacks / pruned), attributed sweep.states,
+// and Report bytes stay schedule-independent at any worker count, even
+// though which candidate of an equivalence class runs concretely — and
+// hence explore.* totals and memo-hit counts — is a worker race. It
+// also checks the memo actually fired (sweep.memo_hits > 0) so the
+// deduplication claims are not vacuous.
+func TestObsMemoDeterministicSubset(t *testing.T) {
+	t.Parallel()
+	f := theorem42Family(1)
+	vectors := binaryVectors(3)
+	deterministic := []string{
+		"sweep.sweeps", "sweep.candidates", "sweep.refuted", "sweep.solvers",
+		"sweep.inconclusive", "sweep.symmetry_fallbacks", "sweep.pruned",
+		"sweep.states",
+	}
+	sweep := func(workers int) (obs.Snapshot, string) {
+		sink := obs.NewSink()
+		rep, err := enumerate.FalsifyDAC(f, 3, vectors,
+			enumerate.SweepOptions{Workers: workers, Obs: sink})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sink.Snapshot(), renderReport(rep)
+	}
+	base, baseRender := sweep(1)
+	if base.Counters["sweep.memo_hits"] == 0 {
+		t.Fatal("memoized sweep recorded no memo hits")
+	}
+	for _, workers := range []int{2, 8} {
+		got, render := sweep(workers)
+		for _, name := range deterministic {
+			if got.Counters[name] != base.Counters[name] {
+				t.Errorf("workers=%d: counter %s = %d, want %d",
+					workers, name, got.Counters[name], base.Counters[name])
+			}
+		}
+		if render != baseRender {
+			t.Errorf("workers=%d: memoized Render differs from workers=1", workers)
+		}
+	}
 }

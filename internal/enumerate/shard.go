@@ -23,6 +23,28 @@ type Prepared struct {
 	objs   []spec.Spec
 	tsk    task.Task
 	pruned int
+
+	// depth is the family's invocation depth: the guarded invocation
+	// sits at PC depth-1 and the two action slots at depth+1/depth+2 —
+	// the layout facts the memoizer's keys and coverage masks rely on.
+	depth int
+	// roles is the number of distinct role programs per candidate: 2
+	// for DAC sweeps (distinguished + shared peer), 1 for symmetric.
+	roles int
+	// rowWidth is the number of consecutive candidates sharing each
+	// leading (distinguished-role) shape: the q-shape count for DAC
+	// sweeps, 1 for symmetric ones. Shard ranges aligned to rowWidth
+	// keep prefix groups intact, maximizing snapshot reuse per shard.
+	rowWidth int
+	// sigmaOK marks the family's objects and task eligible for the 0↔1
+	// canonical swap; peerOK marks the task eligible for peer input-
+	// vector canonicalization (see memo.go). Both are necessary, not
+	// sufficient — per-candidate program checks still apply.
+	sigmaOK bool
+	peerOK  bool
+	// memo is the sweep-wide verdict cache, shared by every CheckRange
+	// call against this Prepared.
+	memo *memoTable
 }
 
 // PrepareDAC materializes the candidate list FalsifyDAC would sweep:
@@ -70,11 +92,22 @@ func PrepareDAC(f *Family, n int, opts SweepOptions) (*Prepared, error) {
 			})
 		}
 	}
+	tsk := task.DAC{N: n, P: 0}
+	rowWidth := len(qShapes)
+	if rowWidth < 1 {
+		rowWidth = 1
+	}
 	return &Prepared{
-		cands:  cands,
-		objs:   f.Objects,
-		tsk:    task.DAC{N: n, P: 0},
-		pruned: (len(pFam.Shapes()) - len(pShapes)) + (len(qFam.Shapes()) - len(qShapes)),
+		cands:    cands,
+		objs:     f.Objects,
+		tsk:      tsk,
+		pruned:   (len(pFam.Shapes()) - len(pShapes)) + (len(qFam.Shapes()) - len(qShapes)),
+		depth:    f.Depth,
+		roles:    2,
+		rowWidth: rowWidth,
+		sigmaOK:  sigmaEligible(f.Objects, tsk),
+		peerOK:   task.PeerSymmetric(tsk),
+		memo:     newMemoTable(),
 	}, nil
 }
 
@@ -101,10 +134,16 @@ func PrepareSymmetric(f *Family, tsk task.Task, opts SweepOptions) (*Prepared, e
 		cands = append(cands, candidate{asn: Assignment{Shapes: []Shape{s}}, progs: progs})
 	}
 	return &Prepared{
-		cands:  cands,
-		objs:   f.Objects,
-		tsk:    tsk,
-		pruned: len(fam.Shapes()) - len(shapes),
+		cands:    cands,
+		objs:     f.Objects,
+		tsk:      tsk,
+		pruned:   len(fam.Shapes()) - len(shapes),
+		depth:    f.Depth,
+		roles:    1,
+		rowWidth: 1,
+		sigmaOK:  sigmaEligible(f.Objects, tsk),
+		peerOK:   task.PeerSymmetric(tsk),
+		memo:     newMemoTable(),
 	}, nil
 }
 
@@ -114,6 +153,13 @@ func (p *Prepared) Candidates() int { return len(p.cands) }
 
 // Pruned is the number of shapes the solo prefilter rejected.
 func (p *Prepared) Pruned() int { return p.pruned }
+
+// RowWidth is the number of consecutive candidates sharing each leading
+// shape (the q-shape count of a DAC sweep, 1 for symmetric sweeps).
+// Shard boundaries aligned to multiples of RowWidth keep prefix groups
+// whole, which maximizes cross-candidate reuse within each shard;
+// alignment is an efficiency hint only — verdicts are range-independent.
+func (p *Prepared) RowWidth() int { return p.rowWidth }
 
 // Assignment returns candidate i's protocol assignment.
 func (p *Prepared) Assignment(i int) Assignment { return p.cands[i].asn }
@@ -192,11 +238,13 @@ func (p *Prepared) CheckRange(lo, hi int, inputVectors [][]value.Value, opts Swe
 	if lo < 0 || hi > len(p.cands) || lo > hi {
 		return nil, fmt.Errorf("enumerate: range [%d,%d) outside candidates [0,%d)", lo, hi, len(p.cands))
 	}
-	outcomes, err := runCandidates(p.cands[lo:hi], p.objs, p.tsk, inputVectors, lo, p.pruned, opts)
+	outcomes, stats, err := runCandidates(p, lo, hi, inputVectors, opts)
 	if err != nil {
 		return nil, err
 	}
 	rr := &RangeReport{Lo: lo, Hi: hi, Pruned: p.pruned}
+	var sample *outcome
+	sampleIdx := -1
 	for i := range outcomes {
 		o := &outcomes[i]
 		rr.States += o.states
@@ -206,11 +254,11 @@ func (p *Prepared) CheckRange(lo, hi int, inputVectors [][]value.Value, opts Swe
 		switch {
 		case o.failure != nil:
 			if rr.Failure == nil {
+				sample, sampleIdx = o, lo+i
 				rr.Failure = &RangeFailure{
 					Index:      lo + i,
 					Assignment: o.failure.Assignment,
 					Inputs:     o.failure.Inputs,
-					Violation:  o.failure.Violation.Error(),
 				}
 			}
 		case o.inconclusive != nil:
@@ -223,6 +271,15 @@ func (p *Prepared) CheckRange(lo, hi int, inputVectors [][]value.Value, opts Swe
 			rr.Solvers = append(rr.Solvers, RangeSolver{Index: lo + i, Assignment: p.cands[lo+i].asn})
 		}
 	}
+	if sample != nil {
+		if sample.vioPending {
+			if err := p.materializeViolation(p.cands[sampleIdx], sample, opts); err != nil {
+				terminalError(opts, stats, err)
+				return nil, err
+			}
+		}
+		rr.Failure.Violation = sample.failure.Violation.Error()
+	}
 	if opts.Events != nil {
 		opts.Events.Emit("sweep.done", obs.Fields{
 			"lo":                 lo,
@@ -232,6 +289,9 @@ func (p *Prepared) CheckRange(lo, hi int, inputVectors [][]value.Value, opts Swe
 			"inconclusive":       len(rr.Inconclusive),
 			"solvers":            len(rr.Solvers),
 			"symmetry_fallbacks": rr.SymmetryFallbacks,
+			"memo_hits":          stats.memoHits,
+			"dedup_candidates":   stats.dedupCandidates,
+			"fork_states_saved":  stats.forkStatesSaved,
 		})
 	}
 	return rr, nil

@@ -15,6 +15,7 @@ import (
 	"setagree/internal/spec"
 	"setagree/internal/store"
 	"setagree/internal/task"
+	"setagree/internal/value"
 )
 
 // Exploration failure modes.
@@ -99,6 +100,34 @@ type Options struct {
 	// everything in memory. Callers of a disk-backed exploration own the
 	// returned Report's store and must Close it.
 	Store store.Options
+	// Cover, when non-nil, records which guarded branches each process
+	// exercised (see CoverRequest); the result lands in Report.Cover.
+	// Recording is a pure observation at the merge barrier: it changes
+	// no interning, counting, or verdict, so Reports with and without
+	// Cover are otherwise identical.
+	Cover *CoverRequest
+}
+
+// CoverRequest asks the exploration to record branch coverage of the
+// guarded final action of enumerate-style programs: for every merged
+// transition taken by a process poised at GuardPC (the program's last
+// shared-memory invocation), the response's ⊥-ness selects which of the
+// two action branches ran. Under symmetry reduction the recorded
+// process index is the orbit representative's, so the bits are reliable
+// at role granularity (processes sharing a program), which is all the
+// sweep memoizer consumes.
+type CoverRequest struct {
+	// GuardPC is the program counter of the guarded invocation.
+	GuardPC int
+}
+
+// BranchCover is one process's guarded-branch coverage.
+type BranchCover struct {
+	// Bottom is set when a step from the guard PC returned ⊥.
+	Bottom bool
+	// Value is set when a step from the guard PC returned a non-⊥
+	// response.
+	Value bool
 }
 
 // CheckpointOptions configures durable snapshots of an exploration.
@@ -206,6 +235,10 @@ type Report struct {
 	Violations []*Violation
 	// Valency holds the valence analysis when Options.Valency was set.
 	Valency *ValencyReport
+	// Cover is the per-process branch coverage when Options.Cover was
+	// set (valid on partial reports too: a state-limited prefix records
+	// exactly the branches its merged levels exercised).
+	Cover []BranchCover
 
 	g *graph
 }
@@ -225,6 +258,11 @@ type graph struct {
 	tsk     task.Task
 	configs []*Config
 	ids     map[string]int
+	// baseIDs, on a forked graph (see fork.go), is the parent
+	// snapshot's frozen interning table; lookups fall through to it and
+	// fresh interns land in ids, so the parent table is shared
+	// copy-on-write between any number of concurrent forks.
+	baseIDs map[string]int
 	edges   [][]edge   // adjacency: edges[from] (in-memory mode)
 	parent  []int      // BFS tree: parent config id (-1 for root)
 	parentE []Step     // BFS tree: step from parent
@@ -293,6 +331,13 @@ func newSearch(sys *System, tsk task.Task, opts *Options) (*search, *Report, err
 	g := &graph{sys: sys, tsk: tsk}
 	rep := &Report{g: g}
 	st := &search{g: g, rep: rep, opts: opts, frontierMax: 1, hbNext: opts.HeartbeatEvery}
+	if opts.Cover != nil {
+		// The slice is shared with the report up front so partial exits
+		// (state limit, cancellation) carry the coverage observed so far.
+		st.cover = make([]BranchCover, sys.Procs())
+		st.coverPC = opts.Cover.GuardPC
+		rep.Cover = st.cover
+	}
 	if opts.Obs != nil {
 		// Resolved once here so both Check and Resume record per-level
 		// latency; nil when metrics are off, costing the loop one nil
@@ -391,13 +436,16 @@ type search struct {
 	g           *graph
 	rep         *Report
 	opts        *Options
-	expanded    int    // configurations expanded (all levels merged so far)
-	frontierMax int    // max unexpanded remainder at any level barrier
-	hbNext      int    // next heartbeat boundary in expanded configs
-	symHits     int    // successors whose canonical key differed from their concrete key
-	orbitMax    int    // largest successor orbit seen
-	batchMax    int    // most successors merged at one level barrier
-	level       int    // completed BFS levels
+	expanded    int // configurations expanded (all levels merged so far)
+	frontierMax int // max unexpanded remainder at any level barrier
+	hbNext      int // next heartbeat boundary in expanded configs
+	symHits     int // successors whose canonical key differed from their concrete key
+	orbitMax    int // largest successor orbit seen
+	batchMax    int // most successors merged at one level barrier
+	level       int // completed BFS levels
+	stopLevels  int // when > 0, bfs stops after this many levels (snapshot prefixes)
+	coverPC     int // guard PC when cover != nil
+	cover       []BranchCover
 	fp          uint64 // memoized system fingerprint (see fingerprint)
 	fpSet       bool
 
@@ -500,6 +548,11 @@ func (st *search) bfs() error {
 			if err := d.s.CheckBudget(); err != nil {
 				return flushCkpt(st, err)
 			}
+		}
+		if st.stopLevels > 0 && st.level >= st.stopLevels {
+			// Snapshot-prefix mode (see fork.go): leave the frontier
+			// unexpanded at this barrier; forks resume from exactly here.
+			return nil
 		}
 		levelStart = levelEnd
 	}
@@ -807,6 +860,16 @@ func (st *search) mergeLevel(outs []*shardOut) error {
 			merged := 0
 			var stop error
 			for _, s := range exp.succs {
+				if st.cover != nil && g.configs[at].Procs[s.step.Proc].PC == st.coverPC {
+					// The parent configuration of the currently merging
+					// level is always resident (spilling runs after the
+					// merge), so this read is safe in both backends.
+					if s.step.Resp == value.Bottom {
+						st.cover[s.step.Proc].Bottom = true
+					} else {
+						st.cover[s.step.Proc].Value = true
+					}
+				}
 				id, fresh := s.id, false
 				if id < 0 {
 					key := out.arena[s.off:s.end]

@@ -1,0 +1,192 @@
+// Prefix snapshots and forked explorations.
+//
+// Candidate programs produced by internal/enumerate differ only in
+// their final guarded actions: the first Depth-1 shared-memory
+// invocations are common to every candidate of a prefix-trie node. A
+// level-synchronized BFS makes the shared work a clean prefix of the
+// level sequence — a configuration at BFS level L has some process
+// with min(L, Depth) completed steps, so every configuration at level
+// <= Depth-1 was produced exclusively by instructions the whole group
+// shares. SnapshotPrefix freezes the search at that barrier; Fork
+// resumes it per candidate as a copy-on-write view over the frozen
+// tables (shared *Config pointers, cap-clamped BFS-tree columns, an
+// interning-table overlay), producing a Report byte-identical to a
+// from-scratch run of the forked system.
+//
+// Restrictions: in-memory engine, symmetry off, no valency, no
+// checkpointing — exactly the configuration falsification sweeps run.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"setagree/internal/task"
+)
+
+// ErrForkUnsupported reports a SnapshotPrefix or Fork option outside
+// the supported envelope (symmetry, valency, disk store, checkpoints,
+// or a mismatched forked system).
+var ErrForkUnsupported = errors.New("explore: fork does not support this configuration")
+
+// ProbeSymmetry replays exactly the pre-BFS admissibility pipeline of
+// a symmetry-reduced Check — initial configuration, group
+// construction, root stability — without exploring anything. It
+// returns nil when Check would run reduced, an error matching
+// ErrNotSymmetric/ErrSymmetryUnsupported when Check would reject the
+// reduction (the sweep fallback path), and any other construction
+// error verbatim. The sweep memoizer uses it to account symmetry
+// fallbacks exactly on candidates whose exploration it elides.
+func ProbeSymmetry(sys *System, tsk task.Task, mode Symmetry) error {
+	if mode == SymmetryOff {
+		return nil
+	}
+	root, err := initialConfig(sys)
+	if err != nil {
+		return err
+	}
+	grp, err := buildGroup(sys, tsk, mode)
+	if err != nil {
+		return err
+	}
+	return grp.checkRootStable(root)
+}
+
+// Snapshot is a frozen BFS prefix: the configuration table, BFS tree,
+// and report totals of an exploration stopped at a level barrier.
+// A Snapshot is immutable; any number of Forks may run concurrently
+// against it.
+type Snapshot struct {
+	g           *graph
+	maxStates   int
+	expanded    int
+	level       int
+	transitions int
+	quiescent   int
+	frontierMax int
+	batchMax    int
+}
+
+// States is the number of configurations interned in the prefix — the
+// exploration work each additional Fork reuses instead of redoing.
+func (s *Snapshot) States() int { return len(s.g.configs) }
+
+// SnapshotPrefix explores sys for exactly `levels` BFS levels and
+// freezes the search at that barrier. The run is silent (no metrics,
+// events, or checkpoints) and supports only the plain in-memory
+// symmetry-off engine. Callers guarantee that every system later
+// passed to Fork executes instructions identical to sys's over the
+// snapshot's levels; the prefix levels of enumerate's candidate
+// families satisfy this by construction.
+func SnapshotPrefix(sys *System, tsk task.Task, levels int, opts Options) (*Snapshot, error) {
+	if levels <= 0 {
+		return nil, fmt.Errorf("explore: snapshot of %d levels: %w", levels, ErrForkUnsupported)
+	}
+	if opts.Symmetry != SymmetryOff || opts.Valency || opts.Store.Enabled() ||
+		opts.Checkpoint.Path != "" || opts.Cover != nil {
+		return nil, fmt.Errorf("explore: snapshot prefixes support only the plain in-memory engine: %w", ErrForkUnsupported)
+	}
+	opts.Obs = nil
+	opts.Events = nil
+	opts.HeartbeatEvery = -1
+	st, _, err := newSearch(sys, tsk, &opts)
+	if err != nil {
+		return nil, err
+	}
+	st.stopLevels = levels
+	if err := st.bfs(); err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		g:           st.g,
+		maxStates:   opts.MaxStates,
+		expanded:    st.expanded,
+		level:       st.level,
+		transitions: st.rep.Transitions,
+		quiescent:   st.rep.Quiescent,
+		frontierMax: st.frontierMax,
+		batchMax:    st.batchMax,
+	}, nil
+}
+
+// Fork resumes the snapshot for a forked system — same process count,
+// objects, and inputs; programs that agree with the snapshot's over
+// every instruction executed in the prefix — and drives the search to
+// completion. The forked graph is a copy-on-write view: the prefix
+// configuration table, BFS-tree columns, and interning entries are
+// shared read-only with the snapshot (and with every concurrent fork),
+// and only post-fork growth allocates. Because the prefix executions
+// are identical by the caller's guarantee and the merge order is
+// canonical, the returned Report — ids, counts, violations, witnesses
+// — is byte-identical to a from-scratch Check of the forked system;
+// opts.MaxStates must equal the snapshot's so state-limit truncation
+// points agree too. Metrics flushed to opts.Obs count the whole
+// logical run (prefix included), matching the from-scratch equivalent;
+// the work actually saved is States() per reuse.
+func (s *Snapshot) Fork(sys *System, opts Options) (*Report, error) {
+	base := s.g
+	if len(sys.Programs) != len(base.sys.Programs) || len(sys.Inputs) != len(base.sys.Inputs) ||
+		len(sys.Objects) != len(base.sys.Objects) {
+		return nil, fmt.Errorf("explore: forked system shape differs from snapshot: %w", ErrForkUnsupported)
+	}
+	for i, in := range sys.Inputs {
+		if in != base.sys.Inputs[i] {
+			return nil, fmt.Errorf("explore: forked input %d differs from snapshot: %w", i, ErrForkUnsupported)
+		}
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1 << 21
+	}
+	if opts.MaxStates != s.maxStates {
+		return nil, fmt.Errorf("explore: fork MaxStates %d differs from snapshot's %d: %w",
+			opts.MaxStates, s.maxStates, ErrForkUnsupported)
+	}
+	if opts.Symmetry != SymmetryOff || opts.Valency || opts.Store.Enabled() || opts.Checkpoint.Path != "" {
+		return nil, fmt.Errorf("explore: forks support only the plain in-memory engine: %w", ErrForkUnsupported)
+	}
+	if opts.HeartbeatEvery == 0 {
+		opts.HeartbeatEvery = 1 << 15
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	n := len(base.configs)
+	edges := make([][]edge, n)
+	copy(edges, base.edges)
+	g := &graph{
+		sys:     sys,
+		tsk:     base.tsk,
+		configs: base.configs[:n:n],
+		ids:     make(map[string]int),
+		baseIDs: base.ids,
+		edges:   edges,
+		parent:  base.parent[:n:n],
+		parentE: base.parentE[:n:n],
+		canon:   base.canon[:n:n],
+	}
+	rep := &Report{g: g, Transitions: s.transitions, Quiescent: s.quiescent}
+	st := &search{
+		g:           g,
+		rep:         rep,
+		opts:        &opts,
+		expanded:    s.expanded,
+		frontierMax: s.frontierMax,
+		batchMax:    s.batchMax,
+		hbNext:      opts.HeartbeatEvery,
+		level:       s.level,
+	}
+	if opts.Cover != nil {
+		// Prefix steps never leave the guard PC (the prefix stops before
+		// any process reaches its final invocation), so starting the
+		// coverage empty here matches a from-scratch recording.
+		st.cover = make([]BranchCover, sys.Procs())
+		st.coverPC = opts.Cover.GuardPC
+		rep.Cover = st.cover
+	}
+	if opts.Obs != nil {
+		st.levelHist = opts.Obs.Histogram("explore.level_ns")
+	}
+	return st.run()
+}

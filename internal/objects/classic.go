@@ -82,6 +82,10 @@ func (q Queue) Init() spec.State {
 // Deterministic reports that queues are deterministic.
 func (Queue) Deterministic() bool { return true }
 
+// ValueOblivious implements the spec.ValueOblivious extension: a queue
+// stores and returns values without inspecting them.
+func (Queue) ValueOblivious() bool { return true }
+
 // Step implements spec.Spec.
 func (q Queue) Step(s spec.State, op value.Op) ([]spec.Transition, error) {
 	st, ok := s.(QueueState)

@@ -62,6 +62,10 @@ func (Consensus) Init() spec.State {
 // Deterministic reports that n-consensus objects are deterministic.
 func (Consensus) Deterministic() bool { return true }
 
+// ValueOblivious implements the spec.ValueOblivious extension: the
+// winning proposal is adopted and echoed without being inspected.
+func (Consensus) ValueOblivious() bool { return true }
+
 // Step implements spec.Spec.
 func (c Consensus) Step(s spec.State, op value.Op) ([]spec.Transition, error) {
 	st, ok := s.(ConsensusState)

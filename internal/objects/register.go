@@ -58,6 +58,10 @@ func (r Register) Init() spec.State { return RegisterState{Val: r.Initial} }
 // Deterministic reports that registers are deterministic objects.
 func (Register) Deterministic() bool { return true }
 
+// ValueOblivious implements the spec.ValueOblivious extension: a
+// register stores and returns values without inspecting them.
+func (Register) ValueOblivious() bool { return true }
+
 // Step implements spec.Spec: READ returns the current content and leaves
 // the state unchanged; WRITE(v) stores v and returns done.
 func (r Register) Step(s spec.State, op value.Op) ([]spec.Transition, error) {

@@ -106,6 +106,11 @@ func (SetAgreement) Init() spec.State { return SetAgreementState{} }
 // deterministic.
 func (sa SetAgreement) Deterministic() bool { return sa.K <= 1 }
 
+// ValueOblivious implements the spec.ValueOblivious extension: every
+// response is one of the stored proposals, never a function of their
+// numeric values.
+func (SetAgreement) ValueOblivious() bool { return true }
+
 // Step implements spec.Spec. Nondeterminism: one transition per member
 // of STATE (they share the successor state and differ only in the
 // response).

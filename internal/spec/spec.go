@@ -101,6 +101,24 @@ func Deterministic(s Spec) bool {
 	return ok && d.Deterministic()
 }
 
+// ValueOblivious reports whether the spec declares its transition
+// relation value-oblivious: for every bijection τ of application values
+// that fixes the sentinels, τ commutes with Step — relabeling the
+// values in a state and operation relabels the transitions' states and
+// responses and changes nothing else. Registers, queues, consensus, and
+// set-agreement objects qualify (they store and return proposals
+// without inspecting them); objects whose responses encode fixed
+// values regardless of the proposals — test-and-set's 0/1 winner flag,
+// counters — do not. Specs opt in via the
+// interface{ ValueOblivious() bool } extension; all other specs are
+// conservatively treated as value-sensitive. The sweep memoizer
+// (internal/enumerate) consults this to decide whether two candidates
+// related by the 0↔1 value swap have isomorphic executions.
+func ValueOblivious(s Spec) bool {
+	v, ok := s.(interface{ ValueOblivious() bool })
+	return ok && v.ValueOblivious()
+}
+
 // BadOpError builds the canonical ErrBadOp-wrapping error for spec
 // implementations.
 func BadOpError(specName string, op value.Op, reason string) error {

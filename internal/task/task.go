@@ -76,6 +76,36 @@ type Task interface {
 	Liveness() Liveness
 }
 
+// ValueSymmetric01 reports whether the task declares its safety
+// predicate invariant under swapping the values 0 and 1 uniformly
+// across an outcome's Inputs and Decisions (liveness obligations never
+// mention values, so they are trivially invariant). All tasks in this
+// package qualify: agreement and validity compare values for equality
+// only, and DAC's binary-decision check is itself 0↔1-symmetric. Tasks
+// opt in via the interface{ ValueSymmetric01() bool } extension; all
+// other tasks are conservatively treated as value-sensitive. The sweep
+// memoizer (internal/enumerate) consults this to collapse candidates
+// related by the 0↔1 swap.
+func ValueSymmetric01(t Task) bool {
+	v, ok := t.(interface{ ValueSymmetric01() bool })
+	return ok && v.ValueSymmetric01()
+}
+
+// PeerSymmetric reports whether the task declares its safety predicate
+// and liveness obligations invariant under permuting non-distinguished
+// processes together with their inputs (every process when
+// Liveness().DACDistinguished < 0). All tasks in this package qualify:
+// their predicates examine the per-process Outcome arrays uniformly,
+// and only DAC singles out the distinguished index. Tasks opt in via
+// the interface{ PeerSymmetric() bool } extension; all other tasks are
+// conservatively treated as process-sensitive. The sweep memoizer
+// (internal/enumerate) consults this to canonicalize input vectors of
+// candidates whose peer processes run a common program.
+func PeerSymmetric(t Task) bool {
+	v, ok := t.(interface{ PeerSymmetric() bool })
+	return ok && v.PeerSymmetric()
+}
+
 // Liveness describes which termination properties a task demands.
 type Liveness struct {
 	// WaitFree demands every process that takes infinitely many steps
@@ -113,6 +143,12 @@ func (Consensus) Liveness() Liveness {
 	return Liveness{WaitFree: true, DACDistinguished: -1}
 }
 
+// ValueSymmetric01 implements the value-symmetry extension.
+func (Consensus) ValueSymmetric01() bool { return true }
+
+// PeerSymmetric implements the process-symmetry extension.
+func (Consensus) PeerSymmetric() bool { return true }
+
 // CheckSafety implements Task.
 func (c Consensus) CheckSafety(o Outcome) error {
 	return KSetAgreement{N: c.N, K: 1}.CheckSafety(o)
@@ -142,6 +178,12 @@ func (t KSetAgreement) Procs() int { return t.N }
 func (KSetAgreement) Liveness() Liveness {
 	return Liveness{WaitFree: true, DACDistinguished: -1}
 }
+
+// ValueSymmetric01 implements the value-symmetry extension.
+func (KSetAgreement) ValueSymmetric01() bool { return true }
+
+// PeerSymmetric implements the process-symmetry extension.
+func (KSetAgreement) PeerSymmetric() bool { return true }
 
 // CheckSafety implements Task: k-agreement plus validity.
 func (t KSetAgreement) CheckSafety(o Outcome) error {
@@ -204,6 +246,16 @@ func (t DAC) Procs() int { return t.N }
 func (t DAC) Liveness() Liveness {
 	return Liveness{WaitFree: false, DACDistinguished: t.P}
 }
+
+// ValueSymmetric01 implements the value-symmetry extension: the
+// binary-decision, agreement, validity, and nontriviality clauses all
+// survive a uniform 0↔1 relabeling.
+func (DAC) ValueSymmetric01() bool { return true }
+
+// PeerSymmetric implements the process-symmetry extension: only the
+// distinguished process is singled out; the remaining processes enter
+// every clause symmetrically.
+func (DAC) PeerSymmetric() bool { return true }
 
 // CheckSafety implements Task.
 func (t DAC) CheckSafety(o Outcome) error {
@@ -300,6 +352,12 @@ func (t ResilientKSet) Procs() int { return t.N }
 func (t ResilientKSet) Liveness() Liveness {
 	return Liveness{Tolerance: t.F, DACDistinguished: -1}
 }
+
+// ValueSymmetric01 implements the value-symmetry extension.
+func (ResilientKSet) ValueSymmetric01() bool { return true }
+
+// PeerSymmetric implements the process-symmetry extension.
+func (ResilientKSet) PeerSymmetric() bool { return true }
 
 // CheckSafety implements Task (identical to the wait-free variant).
 func (t ResilientKSet) CheckSafety(o Outcome) error {
