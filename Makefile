@@ -39,7 +39,7 @@ test:
 # an uninterrupted run) is exactly the kind of cross-goroutine
 # determinism claim -race exists to audit.
 race:
-	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs ./internal/store ./internal/cluster
+	$(GO) test -race ./internal/enumerate ./internal/explore ./internal/lincheck ./internal/obs ./internal/store ./internal/cluster ./internal/collections
 	EXPLORE_SYMMETRY_WORKERS=1 $(GO) test -race -run 'TestSymmetry' ./internal/explore
 	EXPLORE_SYMMETRY_WORKERS=4 $(GO) test -race -run 'TestSymmetry' ./internal/explore
 	$(GO) test -race -count=1 -run 'TestKillResume|TestResume|TestContextCancel|TestDiskStore' ./internal/explore
@@ -95,6 +95,9 @@ bench-json:
 	jq -n --slurpfile quick .bench_experiments_quick.json --slurpfile sweeps .bench_sweeps.json \
 		-f bench_experiments.jq > BENCH_experiments.json
 	rm -f .bench_experiments_quick.json .bench_sweeps.json
+	$(GO) run ./cmd/experiments -bench-collections .bench_collections.json
+	jq -n --slurpfile bench .bench_collections.json -f bench_collections.jq > BENCH_collections.json
+	rm -f .bench_collections.json
 	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=7/checkpoint' -benchtime 2x . > .bench_checkpoint.txt
 	jq -n --rawfile bench .bench_checkpoint.txt -f bench_checkpoint.jq > BENCH_checkpoint.json
 	rm -f .bench_checkpoint.txt
@@ -104,7 +107,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'ModelCheckDAC/n=7/obs' -benchtime 2x -count 6 . > .bench_obs.txt
 	jq -n --rawfile bench .bench_obs.txt --arg date "$$(date +%Y-%m-%d)" -f bench_obs.jq > BENCH_obs.json
 	rm -f .bench_obs.txt
-	@echo "wrote BENCH_explore.json BENCH_experiments.json BENCH_checkpoint.json BENCH_store.json BENCH_obs.json"
+	@echo "wrote BENCH_explore.json BENCH_experiments.json BENCH_collections.json BENCH_checkpoint.json BENCH_store.json BENCH_obs.json"
 
 # bench-gate is verify's throughput regression guard: one full alg2
 # n=7 exploration (~285k configurations) must hold at least 90% of the
@@ -156,6 +159,9 @@ bench-schema:
 	@jq -e '(.sweeps.thm52.candidates == 49) and (.sweeps.thm71.candidates == 1116) and .sweeps.thm52.render_identical and .sweeps.thm71.render_identical and (.sweeps.thm71.memo_on.candidates_per_sec > 0) and (.sweeps.thm71.memo_off.candidates_per_sec > 0) and (.memoization.render_identical == true) and (.quick.counters."sweep.sweeps" >= 1)' BENCH_experiments.json > /dev/null \
 		|| { echo "bench-schema: BENCH_experiments.json missing the memoization sweep comparison or reports not byte-identical (regenerate with make bench-json)"; exit 1; }
 	@echo "bench-schema: BENCH_experiments.json ok (thm71 speedup $$(jq -r .memoization.thm71_speedup BENCH_experiments.json)x, identical=$$(jq -r .memoization.render_identical BENCH_experiments.json))"
+	@jq -e '(.space.collections == 35) and .pruning.render_identical and (.pruning.on.collections_per_sec > 0) and (.pruning.off.collections_per_sec > 0) and .cross_validation.all_confirmed' BENCH_collections.json > /dev/null \
+		|| { echo "bench-schema: BENCH_collections.json missing, reports not byte-identical across pruning, or a cross-validation verdict unconfirmed (regenerate with make bench-json)"; exit 1; }
+	@echo "bench-schema: BENCH_collections.json ok (pruning speedup $$(jq -r .pruning.speedup BENCH_collections.json)x, cross-validations $$(jq -r .cross_validation.confirmed BENCH_collections.json)/$$(jq -r .cross_validation.checks BENCH_collections.json) confirmed)"
 
 # loadtest stands up a real cluster on this host — one coordinator
 # dacd in front of two worker dacds, plus a plain daemon as the

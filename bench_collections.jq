@@ -1,0 +1,34 @@
+# Builds BENCH_collections.json (see Makefile bench-json). One input:
+# --slurpfile bench, the output of `experiments -bench-collections` —
+# the 35-collection reference sweep (size-3 multisets over a five-type
+# menu, 6 processes asking for 2-set agreement) timed with dominance
+# pruning off and on (best of five runs each), an in-process byte-
+# identity check of the two configurations' rendered reports, and the
+# N <= 4 cross-validation matrix (every decision-procedure verdict
+# re-derived by the model checker: solvable constructively via the
+# witness protocol, unsolvable by exhaustive falsification).
+#
+# Honest framing: pruning never changes a verdict or a report byte —
+# it collapses dominated types before the knapsack DP runs, so fewer
+# and smaller cost tables are built and memoized. speedup is a DP-work
+# ratio on this menu, not a general engine claim; menus whose types
+# rarely dominate each other see ratios near 1. The byte-identity and
+# all-confirmed verdicts are gated by bench-schema; the speedup is
+# recorded, not gated — it is host- and menu-shaped.
+
+$bench[0] as $b |
+{
+  tool: "experiments -bench-collections",
+  space: $b.space,
+  pruning: {
+    off: $b.prune_off,
+    on: $b.prune_on,
+    speedup: $b.speedup,
+    render_identical: $b.render_identical
+  },
+  cross_validation: {
+    checks: $b.cross_validations,
+    confirmed: $b.cross_confirmed,
+    all_confirmed: ($b.cross_validations > 0 and $b.cross_validations == $b.cross_confirmed)
+  }
+}

@@ -21,6 +21,14 @@
 // steals never show in the report. See EXPERIMENTS.md "Running a
 // checking cluster".
 //
+// Set-consensus collections sweeps ride the same machinery:
+// "collections-sweep" decides task solvability for every collection in
+// a multiset space (internal/collections) and "collections-shard" is
+// its per-range worker job. The same byte-identity guarantee holds —
+// collections index deterministically, so the merged report never
+// shows the shard schedule. See EXPERIMENTS.md "Set-consensus
+// collections".
+//
 // API (see EXPERIMENTS.md "Durable runs" for the full catalog):
 //
 //	GET  /                   live dashboard (embedded, no build step)
@@ -134,9 +142,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	reg := obs.NewRegistry()
 	pool := jobs.NewPool(store, *workers, map[string]jobs.Runner{
-		"explore":     exploreRunner(reg),
-		"sweep":       sweepRunner(reg, clusterWorkers),
-		"sweep-shard": sweepShardRunner(reg),
+		"explore":           exploreRunner(reg),
+		"sweep":             sweepRunner(reg, clusterWorkers),
+		"sweep-shard":       sweepShardRunner(reg),
+		"collections-sweep": collectionsRunner(reg, clusterWorkers),
+		"collections-shard": collectionsShardRunner(reg),
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -30,6 +30,11 @@ func TestMetricsGolden(t *testing.T) {
 	s.Counter(httpRequestsPrefix + "GET /jobs").Add(2)
 	s.Counter("explore.states").Add(12345)
 	s.Counter("explore.transitions").Add(67890)
+	s.Counter("cluster.shards").Add(3)
+	s.Counter("collections.decided").Add(6)
+	s.Counter("collections.pruned").Add(2)
+	s.Counter("collections.solvable").Add(4)
+	s.Counter("collections.crosschecked").Add(5)
 	s.Gauge("explore.frontier_max").SetMax(512)
 	s.Timer("explore.wall").Observe(3 * time.Millisecond)
 	s.Timer("explore.wall").Observe(3 * time.Millisecond)

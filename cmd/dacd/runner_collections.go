@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"setagree/internal/cluster"
+	"setagree/internal/jobs"
+	"setagree/internal/obs"
+)
+
+// collectionsShardRunner returns the jobs.Runner for kind
+// "collections-shard": the worker half of a partitioned collections
+// sweep. The spec is a cluster.CollectionsShardJob
+// ({"collections":{...},"lo":L,"hi":H}); the result is the shard's
+// RangeReport. Like sweep shards, collections shards are not
+// checkpointed — verdicts are deterministic and each shard is cheap to
+// re-decide, so a lost worker costs one shard re-run.
+func collectionsShardRunner(reg *obs.Registry) jobs.Runner {
+	return func(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte, error) {
+		var cj cluster.CollectionsShardJob
+		if err := json.Unmarshal(job.Spec, &cj); err != nil {
+			return nil, fmt.Errorf("bad spec: %w", err)
+		}
+		emitter, closeEvents, err := jobEmitter(store, job.ID)
+		if err != nil {
+			return nil, err
+		}
+		defer closeEvents()
+		sink := reg.Attach()
+		if sink == nil {
+			sink = obs.NewSink()
+		}
+		defer reg.Release(sink)
+		rep, err := cluster.RunCollectionsShard(ctx, cj, sink, emitter)
+		if err != nil {
+			emitter.Sync()
+			return nil, err
+		}
+		if err := emitter.Sync(); err != nil {
+			return nil, fmt.Errorf("event stream: %w", err)
+		}
+		return json.MarshalIndent(rep, "", "  ")
+	}
+}
+
+// collectionsJobSpec is the JSON spec of a "collections-sweep" job:
+// the collections spec plus the coordinator's partitioning knobs, the
+// same split as sweepJobSpec — topology stays an operator decision.
+type collectionsJobSpec struct {
+	Collections cluster.CollectionsSpec `json:"collections"`
+	// Shards overrides the shard count (0 = 4 per worker, or 1 local).
+	Shards int `json:"shards,omitempty"`
+	// PaceMs sleeps each shard this long per collection decided.
+	PaceMs int `json:"pace_ms,omitempty"`
+}
+
+// collectionsRunner returns the jobs.Runner for kind
+// "collections-sweep": coordinate a partitioned collections sweep over
+// the configured workers (in-process when the list is empty) and store
+// the canonical merged collections.Report.
+func collectionsRunner(reg *obs.Registry, workers []string) jobs.Runner {
+	return func(ctx context.Context, store *jobs.Store, job jobs.Job) ([]byte, error) {
+		var sp collectionsJobSpec
+		if err := json.Unmarshal(job.Spec, &sp); err != nil {
+			return nil, fmt.Errorf("bad spec: %w", err)
+		}
+		emitter, closeEvents, err := jobEmitter(store, job.ID)
+		if err != nil {
+			return nil, err
+		}
+		defer closeEvents()
+		sink := reg.Attach()
+		if sink == nil {
+			sink = obs.NewSink()
+		}
+		defer reg.Release(sink)
+		rep, err := cluster.RunCollections(ctx, sp.Collections, cluster.Options{
+			Workers: workers,
+			Shards:  sp.Shards,
+			PaceMs:  sp.PaceMs,
+			Obs:     sink,
+			Events:  emitter,
+		})
+		if err != nil {
+			emitter.Sync()
+			return nil, err
+		}
+		if err := emitter.Sync(); err != nil {
+			return nil, fmt.Errorf("event stream: %w", err)
+		}
+		return rep.Render()
+	}
+}

@@ -62,6 +62,12 @@ function track(id) {
       tr.total = (tr.total || 0) + (ev.states || 0);
       states = tr.total;
       marker = ev.hi;
+    } else if (ev.event === "collections.progress") {
+      // One event per decided collection; count events so the series
+      // stays monotone across shard boundaries.
+      tr.total = (tr.total || 0) + 1;
+      states = tr.total;
+      marker = ev.index;
     } else {
       return;
     }

@@ -1,0 +1,144 @@
+// The -bench-collections mode: time a collections sweep large enough
+// to measure — every size-3 multiset over a five-type menu — with
+// dominance pruning off and on, verify the two configurations render
+// byte-identical reports, run the N <= 4 cross-validation matrix, and
+// write the comparison as JSON for bench_collections.jq /
+// BENCH_collections.json.
+//
+// Honest framing: pruning never changes a verdict or a report byte —
+// it only collapses dominated types before the knapsack DP runs, so
+// fewer and smaller cost tables get built and memoized. The speedup is
+// therefore a DP-work ratio on this menu, not a claim about sweep
+// engines in general; menus whose types rarely dominate each other
+// see ratios near 1.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"setagree/internal/collections"
+	"setagree/internal/obs"
+	"setagree/internal/power"
+)
+
+// collectionsBenchSpace is the timed space: C(7,3) = 35 collections
+// whose DP tables span bounded and unbounded types, asked whether 6
+// processes solve 2-set agreement.
+func collectionsBenchSpace() (collections.Space, collections.Task) {
+	space := collections.Space{
+		Menu: []collections.Type{
+			{N: 2, K: 1}, {N: 3, K: 2}, {N: 4, K: 3},
+			{N: power.Infinite, K: 2}, {N: power.Infinite, K: 3},
+		},
+		Size: 3,
+	}
+	return space, collections.Task{Procs: 6, K: 2}
+}
+
+// collectionsBenchRun is one timed sweep configuration.
+type collectionsBenchRun struct {
+	ElapsedNs         int64   `json:"elapsed_ns"`
+	CollectionsPerSec float64 `json:"collections_per_sec"`
+	Pruned            int     `json:"pruned"`
+}
+
+// runBenchCollections executes the benchmark and writes its JSON to
+// path. Exit status 0 on success, 2 on error; thresholds are gated
+// downstream by the Makefile, with one exception — a cross-validation
+// verdict the model checker refutes is an error here, not a metric.
+func runBenchCollections(path string, workers int, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "experiments: bench-collections: %v\n", err)
+		return 2
+	}
+	space, tsk := collectionsBenchSpace()
+	run := func(disablePrune bool) (collectionsBenchRun, []byte, error) {
+		var best collectionsBenchRun
+		var bestBuf []byte
+		for it := 0; it < benchIterations; it++ {
+			sink := obs.NewSink()
+			start := time.Now()
+			// A fresh engine per iteration: the memo table is the thing
+			// being measured, so it must not leak across runs.
+			rep, err := collections.Sweep(space, tsk, collections.SweepOptions{
+				Workers:      workers,
+				DisablePrune: disablePrune,
+				Engine:       collections.NewEngine(),
+				Obs:          sink,
+			})
+			elapsed := time.Since(start)
+			if err != nil {
+				return collectionsBenchRun{}, nil, err
+			}
+			buf, err := rep.Render()
+			if err != nil {
+				return collectionsBenchRun{}, nil, err
+			}
+			r := collectionsBenchRun{
+				ElapsedNs:         elapsed.Nanoseconds(),
+				CollectionsPerSec: float64(rep.Collections) / elapsed.Seconds(),
+				Pruned:            rep.Pruned,
+			}
+			if bestBuf == nil || r.ElapsedNs < best.ElapsedNs {
+				best, bestBuf = r, buf
+			}
+		}
+		return best, bestBuf, nil
+	}
+
+	off, offBuf, err := run(true)
+	if err != nil {
+		return fail(fmt.Errorf("prune=off: %w", err))
+	}
+	on, onBuf, err := run(false)
+	if err != nil {
+		return fail(fmt.Errorf("prune=on: %w", err))
+	}
+
+	results, err := collections.CrossValidateMatrix(collections.NewEngine(), collectionsCrossMenu(), 4,
+		collections.CrossOptions{Workers: workers})
+	if err != nil {
+		return fail(err)
+	}
+	confirmed := 0
+	for _, res := range results {
+		if res.Confirmed {
+			confirmed++
+		} else {
+			return fail(fmt.Errorf("verdict refuted: %s procs=%d K=%d: %s", res.Collection, res.Procs, res.K, res.Detail))
+		}
+	}
+
+	out := struct {
+		Tool            string              `json:"tool"`
+		Space           map[string]int      `json:"space"`
+		PruneOff        collectionsBenchRun `json:"prune_off"`
+		PruneOn         collectionsBenchRun `json:"prune_on"`
+		Speedup         float64             `json:"speedup"`
+		RenderIdentical bool                `json:"render_identical"`
+		CrossChecks     int                 `json:"cross_validations"`
+		CrossConfirmed  int                 `json:"cross_confirmed"`
+	}{
+		Tool:            "experiments -bench-collections",
+		Space:           map[string]int{"menu_types": len(space.Menu), "size": space.Size, "collections": space.Count()},
+		PruneOff:        off,
+		PruneOn:         on,
+		Speedup:         on.CollectionsPerSec / off.CollectionsPerSec,
+		RenderIdentical: bytes.Equal(offBuf, onBuf),
+		CrossChecks:     len(results),
+		CrossConfirmed:  confirmed,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fail(err)
+	}
+	return 0
+}

@@ -4,16 +4,19 @@
 //
 // Usage:
 //
-//	hierarchy [-levels K] [-n N] [-metrics out.json] [-events out.jsonl]
-//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	hierarchy [-levels K] [-n N] [-collections] [-metrics out.json]
+//	          [-events out.jsonl] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The first table lists each object's k-set agreement numbers n_k for
 // k = 1..K. The second table demonstrates Corollary 6.6's setting for
 // the given n: O_n and O'_n share one power sequence, yet O'_n is
 // implementable from {n-consensus, 2-SA, registers} (Lemma 6.4) while
-// O_n is not (Observation 6.3). The observability flags follow the
-// repository-wide convention (see EXPERIMENTS.md "Reading run
-// reports").
+// O_n is not (Observation 6.3). With -collections, a third set of
+// tables ranges over multisets of SA types (internal/collections):
+// each collection's canonical form under dominance pruning, its power
+// prefix, and the least K such that n processes solve K-set agreement
+// with it. The observability flags follow the repository-wide
+// convention (see EXPERIMENTS.md "Reading run reports").
 package main
 
 import (
@@ -36,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	levels := fs.Int("levels", 5, "number of power-sequence levels to print")
 	n := fs.Int("n", 3, "hierarchy level n for the O_n / O'_n comparison")
+	collectionsOn := fs.Bool("collections", false, "also print the set-consensus collections tables (power and least solvable K per multiset)")
 	obsF := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,8 +48,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hierarchy: %v\n", err)
 		return 2
 	}
-	if *levels < 1 || *n < 2 {
-		fmt.Fprintln(stderr, "hierarchy: -levels must be >= 1 and -n >= 2")
+	// Loud per-flag validation: name the flag, the bad value, and the
+	// bound, then show usage — a silent exit 2 is unhelpful in scripts.
+	bad := false
+	if *levels < 1 {
+		fmt.Fprintf(stderr, "hierarchy: invalid -levels %d: must be >= 1 (number of power-sequence entries to print)\n", *levels)
+		bad = true
+	}
+	if *n < 2 {
+		fmt.Fprintf(stderr, "hierarchy: invalid -n %d: must be >= 2 (the O_n / O'_n comparison needs a hierarchy level above registers)\n", *n)
+		bad = true
+	}
+	if bad {
+		fs.Usage()
 		return 2
 	}
 	sess, err := obsflags.Start("hierarchy", obsF, args)
@@ -80,5 +95,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  - O'_%d is implementable from {%d-consensus, 2-SA, registers} (Lemma 6.4)\n", *n, *n)
 	fmt.Fprintf(stdout, "  - O_%d is NOT (Theorem 4.3 + Observation 5.1(b)); see the falsification\n", *n)
 	fmt.Fprintln(stdout, "    experiments in EXPERIMENTS.md for the executable evidence.")
+
+	if *collectionsOn {
+		fmt.Fprintln(stdout)
+		if err := printCollections(stdout, *levels, *n, sess.Sink); err != nil {
+			fmt.Fprintf(stderr, "hierarchy: %v\n", err)
+			return 1
+		}
+	}
 	return 0
 }

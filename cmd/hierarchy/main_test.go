@@ -39,10 +39,70 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if code := run([]string{"-n", "1"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
+	if !strings.Contains(errOut.String(), "invalid -n 1") || !strings.Contains(errOut.String(), "Usage") {
+		t.Errorf("bad -n error not loud enough:\n%s", errOut.String())
+	}
+
+	errOut.Reset()
 	if code := run([]string{"-levels", "0"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
+	if !strings.Contains(errOut.String(), "invalid -levels 0") {
+		t.Errorf("bad -levels error not loud enough:\n%s", errOut.String())
+	}
+
+	// Both flags bad: both named in one run.
+	errOut.Reset()
+	if code := run([]string{"-levels", "-3", "-n", "0"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	for _, want := range []string{"invalid -levels -3", "invalid -n 0"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("combined bad flags: missing %q in:\n%s", want, errOut.String())
+		}
+	}
+
 	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRunCollections pins the -collections tables: all ten multisets
+// of sizes 1-2 over the reference menu, with canonical forms and
+// verdict columns present.
+func TestRunCollections(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-collections", "-n", "4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Set-consensus collections",
+		"size 1:",
+		"size 2:",
+		"least K for n=4",
+		"canonical",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("collections output missing %q", want)
+		}
+	}
+	// 3 singletons + 6 pairs = 9 table rows beyond the headers; count
+	// via the canonical-column braces of the size-1 block's first row.
+	if got := strings.Count(text, "\n  {"); got != 9 {
+		t.Errorf("collections tables have %d rows, want 9:\n%s", got, text)
+	}
+}
+
+// TestRunWithoutCollectionsFlagOmitsTables: the tables are opt-in.
+func TestRunWithoutCollectionsFlagOmitsTables(t *testing.T) {
+	t.Parallel()
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out.String(), "Set-consensus collections") {
+		t.Error("collections tables printed without -collections")
 	}
 }

@@ -189,23 +189,36 @@ func (f *fakeWorker) handler() http.Handler {
 			Kind string          `json:"kind"`
 			Spec json.RawMessage `json:"spec"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Kind != "sweep-shard" {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil ||
+			(req.Kind != "sweep-shard" && req.Kind != "collections-shard") {
 			http.Error(w, "bad submit", http.StatusBadRequest)
 			return
 		}
-		var sj ShardJob
-		if err := json.Unmarshal(req.Spec, &sj); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+		run := func() (any, error) {
+			if req.Kind == "collections-shard" {
+				var cj CollectionsShardJob
+				if err := json.Unmarshal(req.Spec, &cj); err != nil {
+					return nil, err
+				}
+				return RunCollectionsShard(context.Background(), cj, nil, nil)
+			}
+			var sj ShardJob
+			if err := json.Unmarshal(req.Spec, &sj); err != nil {
+				return nil, err
+			}
+			return RunShard(context.Background(), sj, nil, nil)
 		}
 		f.mu.Lock()
 		f.n++
 		id := fmt.Sprintf("job-%06d", f.n)
 		job := &jobs.Job{ID: id, Kind: req.Kind, State: jobs.Running}
 		f.jobs[id] = job
+		// Snapshot before the run goroutine can mutate job.State: the
+		// response encodes the accepted state, not a racing live record.
+		snap := *job
 		f.mu.Unlock()
 		go func() {
-			rep, err := RunShard(context.Background(), sj, nil, nil)
+			rep, err := run()
 			f.mu.Lock()
 			defer f.mu.Unlock()
 			if err != nil {
@@ -218,7 +231,7 @@ func (f *fakeWorker) handler() http.Handler {
 			job.State = jobs.Done
 		}()
 		w.WriteHeader(http.StatusAccepted)
-		json.NewEncoder(w).Encode(job)
+		json.NewEncoder(w).Encode(snap)
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		f.mu.Lock()

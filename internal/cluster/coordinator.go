@@ -260,22 +260,70 @@ func runLocal(ctx context.Context, sp SweepSpec, p *enumerate.Prepared, bounds [
 
 type shardResult struct {
 	idx     int
-	rep     *ShardReport
+	raw     []byte
+	states  int
 	worker  string
 	elapsed time.Duration
 	err     error
 }
 
-// runCluster dispatches shards to worker daemons: pull-based load
-// balancing (idle workers take the next shard), requeue-with-attempts
-// on any worker failure, and speculative re-dispatch of in-flight
-// shards once the queue drains (work stealing).
+// shardProto abstracts one shard-job family over the dispatch loop:
+// sweep shards and collections shards share the pull-based load
+// balancing, retry, stealing, and backpressure machinery; only the job
+// payload and the result document differ.
+type shardProto struct {
+	// kind is the jobs-API job kind workers run.
+	kind string
+	// job builds the shard job spec for range [lo, hi).
+	job func(lo, hi int) any
+	// states validates a raw result document and extracts its progress
+	// figure (explored states for sweeps, decided collections for
+	// collections sweeps) for the cluster.* metrics and events. An
+	// error fails the attempt, so a worker returning garbage is retried
+	// like a dead one.
+	states func(raw []byte) (int, error)
+}
+
+// runCluster dispatches sweep shards to worker daemons and merges the
+// results into the canonical report.
 func runCluster(ctx context.Context, sp SweepSpec, candidates int, bounds [][2]int, o Options) (*SweepReport, error) {
+	proto := shardProto{
+		kind: "sweep-shard",
+		job:  func(lo, hi int) any { return ShardJob{Sweep: sp, Lo: lo, Hi: hi, PaceMs: o.PaceMs} },
+		states: func(raw []byte) (int, error) {
+			var sr ShardReport
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				return 0, fmt.Errorf("cluster: bad shard result: %w", err)
+			}
+			return sr.States, nil
+		},
+	}
+	raws, err := dispatchCluster(ctx, bounds, proto, o)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*ShardReport, len(raws))
+	for i, raw := range raws {
+		var sr ShardReport
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return nil, fmt.Errorf("cluster: shard [%d,%d) result: %w", bounds[i][0], bounds[i][1], err)
+		}
+		shards[i] = &sr
+	}
+	return Merge(candidates, shards)
+}
+
+// dispatchCluster runs one shard job per bounds entry across the
+// workers: pull-based load balancing (idle workers take the next
+// shard), requeue-with-attempts on any worker failure, and speculative
+// re-dispatch of in-flight shards once the queue drains (work
+// stealing). Returns the raw result documents in bounds order.
+func dispatchCluster(ctx context.Context, bounds [][2]int, proto shardProto, o Options) ([][]byte, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	dispatch := make(chan int)
 	results := make(chan shardResult)
 	for _, w := range o.Workers {
-		go workerLoop(ctx, w, sp, bounds, o, dispatch, results)
+		go workerLoop(ctx, w, proto, bounds, o, dispatch, results)
 	}
 	// Stop the workers before returning, whatever path exits.
 	defer cancel()
@@ -283,7 +331,7 @@ func runCluster(ctx context.Context, sp SweepSpec, candidates int, bounds [][2]i
 	o.Obs.Gauge("cluster.workers").Set(int64(len(o.Workers)))
 	var (
 		queue     []int
-		done      = make([]*ShardReport, len(bounds))
+		done      = make([][]byte, len(bounds))
 		inflight  = make([]int, len(bounds))
 		fails     = make([]int, len(bounds))
 		remaining = len(bounds)
@@ -354,15 +402,15 @@ func runCluster(ctx context.Context, sp SweepSpec, candidates int, bounds [][2]i
 					"attempt": fails[r.idx], "error": r.err.Error(),
 				})
 			default:
-				done[r.idx] = r.rep
+				done[r.idx] = r.raw
 				remaining--
 				o.Obs.Counter("cluster.shards").Inc()
 				o.Obs.Counter("cluster.candidates").Add(int64(b[1] - b[0]))
-				o.Obs.Counter("cluster.states").Add(int64(r.rep.States))
+				o.Obs.Counter("cluster.states").Add(int64(r.states))
 				o.Obs.Histogram("cluster.shard_ms").Observe(r.elapsed.Milliseconds())
 				o.Events.Emit("cluster.shard.done", obs.Fields{
 					"lo": b[0], "hi": b[1], "worker": r.worker,
-					"states": r.rep.States, "elapsed_ms": r.elapsed.Milliseconds(),
+					"states": r.states, "elapsed_ms": r.elapsed.Milliseconds(),
 				})
 			}
 		}
@@ -370,7 +418,7 @@ func runCluster(ctx context.Context, sp SweepSpec, candidates int, bounds [][2]i
 			stealTimer.Stop()
 		}
 	}
-	return Merge(candidates, done)
+	return done, nil
 }
 
 // workerLoop serves one worker URL: take a shard, run it remotely,
@@ -378,7 +426,7 @@ func runCluster(ctx context.Context, sp SweepSpec, candidates int, bounds [][2]i
 // a dead worker — which fails in microseconds — doesn't outrace the
 // healthy workers for every requeued shard and burn through a shard's
 // attempt budget while they are busy.
-func workerLoop(ctx context.Context, base string, sp SweepSpec, bounds [][2]int, o Options, dispatch <-chan int, results chan<- shardResult) {
+func workerLoop(ctx context.Context, base string, proto shardProto, bounds [][2]int, o Options, dispatch <-chan int, results chan<- shardResult) {
 	consecFails := 0
 	for {
 		var idx int
@@ -387,13 +435,17 @@ func workerLoop(ctx context.Context, base string, sp SweepSpec, bounds [][2]int,
 			return
 		case idx = <-dispatch:
 		}
-		job := ShardJob{Sweep: sp, Lo: bounds[idx][0], Hi: bounds[idx][1], PaceMs: o.PaceMs}
+		job := proto.job(bounds[idx][0], bounds[idx][1])
 		start := time.Now()
-		rep, err := runShardOn(ctx, base, job, o)
+		raw, err := runShardOn(ctx, base, proto.kind, job, o)
+		states := 0
+		if err == nil {
+			states, err = proto.states(raw)
+		}
 		select {
 		case <-ctx.Done():
 			return
-		case results <- shardResult{idx: idx, rep: rep, worker: base, elapsed: time.Since(start), err: err}:
+		case results <- shardResult{idx: idx, raw: raw, states: states, worker: base, elapsed: time.Since(start), err: err}:
 		}
 		if err == nil {
 			consecFails = 0
@@ -410,9 +462,9 @@ func workerLoop(ctx context.Context, base string, sp SweepSpec, bounds [][2]int,
 
 // runShardOn runs one shard job on a worker daemon over the jobs API:
 // submit (honoring 429 Retry-After backpressure), poll to a terminal
-// state, fetch the result.
-func runShardOn(ctx context.Context, base string, job ShardJob, o Options) (*ShardReport, error) {
-	id, err := submitJob(ctx, base, "sweep-shard", job, o)
+// state, fetch the raw result document.
+func runShardOn(ctx context.Context, base, kind string, job any, o Options) ([]byte, error) {
+	id, err := submitJob(ctx, base, kind, job, o)
 	if err != nil {
 		return nil, err
 	}
@@ -504,7 +556,7 @@ func getJob(ctx context.Context, base, id string, o Options) (*jobs.Job, error) 
 	return &j, nil
 }
 
-func fetchShardResult(ctx context.Context, base, id string, o Options) (*ShardReport, error) {
+func fetchShardResult(ctx context.Context, base, id string, o Options) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, err
@@ -517,11 +569,11 @@ func fetchShardResult(ctx context.Context, base, id string, o Options) (*ShardRe
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: result %s/jobs/%s: %s", base, id, resp.Status)
 	}
-	var sr ShardReport
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
 		return nil, fmt.Errorf("cluster: result %s/jobs/%s: %w", base, id, err)
 	}
-	return &sr, nil
+	return raw, nil
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

@@ -1,0 +1,411 @@
+// Package collections decides K-set-agreement solvability for
+// *collections* of set-agreement object types, the generalization of
+// internal/power from single objects to multisets (ROADMAP item 4(a);
+// Delporte-Gallet–Fauconnier–Gafni–Kuznetsov, "Set-Consensus
+// Collections are Decidable").
+//
+// A Collection is a multiset of (n,k)-SA types, each available in
+// unbounded supply, plus read/write registers (always available). N
+// processes partitioned into groups, one group per type plus a
+// register-only remainder, decide within
+//
+//	a_0 + Σ_i MinAgreement(n_i, k_i, a_i)
+//
+// distinct values (a_0 processes on registers decide their own
+// inputs; a group of a_i processes on type i reaches its
+// Chaudhuri–Reiners level). By the set-consensus partial order this
+// partitioned strategy is optimal, so the collection's agreement power
+// is the minimum of that sum over all partitions — a small dynamic
+// program (one fold per type; folding a type twice never helps because
+// MinAgreement is subadditive in the process count). The Engine
+// memoizes cost tables across collections and prunes dominated types
+// (see dominates) before evaluating; pruning is a pure speedup, never
+// a verdict change, and the sweep layer (sweep.go) pins that down to
+// byte-identical reports.
+package collections
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"setagree/internal/objects"
+	"setagree/internal/obs"
+	"setagree/internal/power"
+)
+
+// Type names one (n,k)-SA object type. N == power.Infinite selects
+// the unbounded-participation object (the paper's k-SA).
+type Type struct {
+	// N is the process bound (power.Infinite for unbounded).
+	N int `json:"n"`
+	// K is the agreement bound.
+	K int `json:"k"`
+}
+
+// Validate rejects parameters that do not name an SA object; the
+// error wraps power.ErrParam.
+func (t Type) Validate() error { return power.ValidateSA(t.N, t.K) }
+
+// Name renders the type like the objects package ("(3,2)-SA", "2-SA").
+func (t Type) Name() string { return objects.SetAgreement{N: t.N, K: t.K}.Name() }
+
+func (t Type) seq() power.Sequence { return power.SA(t.N, t.K) }
+
+// effN orders unbounded types after every finite one.
+func (t Type) effN() int {
+	if t.N == power.Infinite {
+		return math.MaxInt
+	}
+	return t.N
+}
+
+func (t Type) less(u Type) bool {
+	if t.effN() != u.effN() {
+		return t.effN() < u.effN()
+	}
+	return t.K < u.K
+}
+
+// minAgreement is the type's Chaudhuri–Reiners level for a group of
+// procs processes (unbounded instance supply is built into the
+// formula).
+func (t Type) minAgreement(procs int) int { return power.MinAgreement(t.N, t.K, procs) }
+
+// domHorizon bounds the prefix that decides dominance between two
+// types. The sequence At(j) = max(j, n*floor(j/k) + min(j mod k, n-1))
+// switches between its two branches only while j < (n+k)^2 (beyond
+// that the larger-slope branch has won for good); past the horizon
+// both sequences are eventually periodic modulo their slopes with
+// common period k_a*k_b, which the slope test in dominates settles.
+// Unbounded types are constant-then-∞, so their k suffices.
+func domHorizon(a, b Type) int {
+	base := func(t Type) int {
+		if t.N == power.Infinite {
+			return t.K
+		}
+		return (t.N + t.K) * (t.N + t.K)
+	}
+	h := base(a)
+	if hb := base(b); hb > h {
+		h = hb
+	}
+	if a.N != power.Infinite && b.N != power.Infinite {
+		h += a.K * b.K
+	}
+	return h
+}
+
+// dominates reports whether a's power sequence is pointwise >= b's at
+// every level j >= 1. Equivalently (the sequences are Galois inverses
+// of the level formulas): cost_a(p) <= cost_b(p) for every group size
+// p, which is what makes dropping b from a collection containing a
+// sound — any processes allocated to b can be redirected to a without
+// raising the collection's cost (collections.go DP; subadditivity
+// covers merging the redirected group with an existing a group).
+func dominates(a, b Type) bool {
+	if b.N == power.Infinite && a.N != power.Infinite {
+		// A finite type is finite at every level; an unbounded one is ∞
+		// from level k_b on.
+		return false
+	}
+	if !power.Dominates(a.seq(), b.seq(), domHorizon(a, b)) {
+		return false
+	}
+	if a.N == power.Infinite {
+		return true
+	}
+	// Both finite: beyond the horizon each sequence grows linearly with
+	// slope max(n,k)/k per level, so dominance persists iff a's slope
+	// is at least b's.
+	return max(a.N, a.K)*b.K >= max(b.N, b.K)*a.K
+}
+
+// Collection is a multiset of SA types. Registers are always
+// available and are not listed.
+type Collection struct {
+	Types []Type `json:"types"`
+}
+
+// Validate rejects collections containing invalid types.
+func (c Collection) Validate() error {
+	for i, t := range c.Types {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("collections: type %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// sorted returns the multiset in canonical order (finite types by
+// (n, k), unbounded types last by k).
+func (c Collection) sorted() []Type {
+	ts := append([]Type(nil), c.Types...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].less(ts[j]) })
+	return ts
+}
+
+// Canonical returns the pruned form: the multiset sorted, with every
+// type dominated by another kept type removed. Duplicates collapse
+// (a type dominates itself) and of two distinct mutually-dominating
+// types (e.g. (1,1)-SA and (2,2)-SA, both register-equivalent) only
+// the first in sort order survives. Canonical collections have the
+// same cost table — and therefore the same power — as the original.
+func (c Collection) Canonical() Collection {
+	ts := c.sorted()
+	keep := make([]Type, 0, len(ts))
+	for i, t := range ts {
+		dominated := false
+		for j, u := range ts {
+			if j == i {
+				continue
+			}
+			if dominates(u, t) && (j < i || !dominates(t, u)) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, t)
+		}
+	}
+	return Collection{Types: keep}
+}
+
+// Key is a canonical map key for the multiset (sorted type list).
+func (c Collection) Key() string {
+	ts := c.sorted()
+	var b strings.Builder
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.Itoa(t.N))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(t.K))
+	}
+	return b.String()
+}
+
+// String renders the multiset like "{(3,2)-SA, 2-SA}"; the empty
+// collection (registers only) renders "{}".
+func (c Collection) String() string {
+	ts := c.sorted()
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name()
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// Engine computes collection agreement power, memoizing cost tables
+// across calls. The zero value is not usable; call NewEngine. An
+// Engine is safe for concurrent use; memoization only shortcuts work,
+// it never changes an answer, so concurrent sweeps sharing an engine
+// stay deterministic.
+type Engine struct {
+	mu   sync.Mutex
+	memo map[string][]int
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{memo: make(map[string][]int)} }
+
+// costTable returns cost[0..procs] for the type list: cost[p] is the
+// least K such that p processes solve K-set agreement with the listed
+// types and registers. types must be sorted (the memo key depends on
+// order); sink counts collections.memo_hits / collections.memo_misses.
+func (e *Engine) costTable(types []Type, procs int, sink *obs.Sink) []int {
+	key := Collection{Types: types}.Key()
+	e.mu.Lock()
+	tbl, ok := e.memo[key]
+	e.mu.Unlock()
+	if ok && len(tbl) > procs {
+		sink.Counter("collections.memo_hits").Inc()
+		return tbl
+	}
+	sink.Counter("collections.memo_misses").Inc()
+	tbl = buildCostTable(types, procs)
+	e.mu.Lock()
+	if prev, ok := e.memo[key]; !ok || len(prev) <= procs {
+		e.memo[key] = tbl
+	}
+	e.mu.Unlock()
+	return tbl
+}
+
+// buildCostTable runs the partition DP: start from registers alone
+// (cost[p] = p) and fold each type in, dp'[p] = min over group sizes
+// a <= p of dp[p-a] + MinAgreement(type, a).
+func buildCostTable(types []Type, procs int) []int {
+	cost := make([]int, procs+1)
+	for p := range cost {
+		cost[p] = p
+	}
+	for _, t := range types {
+		for p := procs; p >= 1; p-- {
+			best := cost[p]
+			for a := 1; a <= p; a++ {
+				if c := cost[p-a] + t.minAgreement(a); c < best {
+					best = c
+				}
+			}
+			cost[p] = best
+		}
+	}
+	return cost
+}
+
+// MinAgreement returns the least K such that procs processes solve
+// K-set agreement using the collection's objects and registers
+// (0 when procs <= 0). Dominated types are pruned first; use
+// MinAgreementUnpruned to ablate the pruning.
+func (e *Engine) MinAgreement(c Collection, procs int) (int, error) {
+	return e.minAgreement(c, procs, true, nil)
+}
+
+// MinAgreementUnpruned is MinAgreement without dominance pruning: the
+// DP runs over the raw sorted multiset. Exists to pin prune == no
+// prune in tests and benchmarks.
+func (e *Engine) MinAgreementUnpruned(c Collection, procs int) (int, error) {
+	return e.minAgreement(c, procs, false, nil)
+}
+
+func (e *Engine) minAgreement(c Collection, procs int, prune bool, sink *obs.Sink) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if procs <= 0 {
+		return 0, nil
+	}
+	types := c.sorted()
+	if prune {
+		types = c.Canonical().Types
+	}
+	return e.costTable(types, procs, sink)[procs], nil
+}
+
+// Group is one type's share of a witness allocation.
+type Group struct {
+	// Type is the SA type the group's processes share.
+	Type Type
+	// Procs is the group size.
+	Procs int
+}
+
+// Allocation witnesses MinAgreement(c, procs): Registers processes
+// decide their own inputs and each group reaches its type's level, for
+// Cost distinct decisions in total.
+type Allocation struct {
+	Groups    []Group
+	Registers int
+	Cost      int
+}
+
+// Allocate reconstructs an optimal partition for procs processes. The
+// witness uses only canonical (undominated) types, which the original
+// collection contains — cross-validation builds its concrete protocol
+// from exactly this allocation.
+func (e *Engine) Allocate(c Collection, procs int) (Allocation, error) {
+	if err := c.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if procs <= 0 {
+		return Allocation{}, nil
+	}
+	types := c.Canonical().Types
+	// DP with explicit layers so choices can be traced back.
+	layers := make([][]int, len(types)+1)
+	layers[0] = make([]int, procs+1)
+	for p := range layers[0] {
+		layers[0][p] = p
+	}
+	for i, t := range types {
+		prev, next := layers[i], make([]int, procs+1)
+		for p := 0; p <= procs; p++ {
+			best := prev[p]
+			for a := 1; a <= p; a++ {
+				if v := prev[p-a] + t.minAgreement(a); v < best {
+					best = v
+				}
+			}
+			next[p] = best
+		}
+		layers[i+1] = next
+	}
+	alloc := Allocation{Cost: layers[len(types)][procs]}
+	p := procs
+	for i := len(types) - 1; i >= 0; i-- {
+		t := types[i]
+		chosen := 0
+		for a := 1; a <= p; a++ {
+			if layers[i][p-a]+t.minAgreement(a) == layers[i+1][p] {
+				chosen = a
+				break
+			}
+		}
+		if chosen > 0 {
+			alloc.Groups = append(alloc.Groups, Group{Type: t, Procs: chosen})
+			p -= chosen
+		}
+	}
+	alloc.Registers = p
+	// Restore type order (the trace walked backwards).
+	for i, j := 0, len(alloc.Groups)-1; i < j; i, j = i+1, j-1 {
+		alloc.Groups[i], alloc.Groups[j] = alloc.Groups[j], alloc.Groups[i]
+	}
+	return alloc, nil
+}
+
+// Power returns the collection's set-agreement power sequence: At(j)
+// is the largest N for which the collection solves j-set agreement,
+// power.Infinite when any number of processes does.
+func (e *Engine) Power(c Collection) (power.Sequence, error) {
+	return e.powerSeq(c, true)
+}
+
+// powerSeq is Power with pruning selectable; the two paths compute
+// identical values (canonicalization preserves cost tables), prune
+// only picks which cost tables get built and memoized.
+func (e *Engine) powerSeq(c Collection, prune bool) (power.Sequence, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	types := c.sorted()
+	if prune {
+		types = c.Canonical().Types
+	}
+	return power.New(c.String(), func(j int) int {
+		if j < 1 {
+			return 0
+		}
+		for _, t := range types {
+			if t.N == power.Infinite && t.K <= j {
+				return power.Infinite
+			}
+		}
+		// Finite: cost is monotone in p, so scan up to a bound above
+		// which every partition exceeds j. An unbounded type with k > j
+		// admits at most j processes within budget j; a finite (n,k)
+		// type at most n*(j+1).
+		bound := j
+		for _, t := range types {
+			if t.N == power.Infinite {
+				bound += j
+			} else {
+				bound += t.N * (j + 1)
+			}
+		}
+		tbl := e.costTable(types, bound, nil)
+		best := 0
+		for p := 0; p <= bound; p++ {
+			if tbl[p] <= j {
+				best = p
+			}
+		}
+		return best
+	}), nil
+}

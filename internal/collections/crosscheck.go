@@ -1,0 +1,267 @@
+package collections
+
+import (
+	"fmt"
+
+	"setagree/internal/enumerate"
+	"setagree/internal/explore"
+	"setagree/internal/machine"
+	"setagree/internal/objects"
+	"setagree/internal/obs"
+	"setagree/internal/programs"
+	"setagree/internal/spec"
+	"setagree/internal/store"
+	"setagree/internal/task"
+	"setagree/internal/value"
+)
+
+// CrossOptions configures verdict cross-validation against the model
+// checker. The zero value works.
+type CrossOptions struct {
+	// Workers is the model checker's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxStates caps each model check (0 = explore's default).
+	MaxStates int
+	// Symmetry selects symmetry reduction for the falsification sweeps
+	// (the positive protocol checks run unreduced: a partitioned
+	// protocol gives processes different roles).
+	Symmetry explore.Symmetry
+	// Store spills the positive checks' configuration graphs to disk
+	// (zero value keeps them in memory).
+	Store store.Options
+	// Obs receives collections.crosschecked /
+	// collections.crosscheck_failures counters; Events the underlying
+	// explore/sweep event streams.
+	Obs    *obs.Sink
+	Events *obs.Emitter
+}
+
+// CrossResult records one cross-validated verdict.
+type CrossResult struct {
+	// Collection renders the collection checked.
+	Collection string
+	// Procs and K name the task instance.
+	Procs, K int
+	// Solvable is the decision procedure's verdict.
+	Solvable bool
+	// Confirmed reports the model checker agreed: a witness protocol
+	// solved the task (solvable), or the depth-1 falsification family
+	// produced zero solvers and zero unsettled candidates (unsolvable).
+	Confirmed bool
+	// Detail describes what was checked.
+	Detail string
+	// States counts configurations the checker explored.
+	States int
+}
+
+// WitnessProtocol composes an optimal allocation into a concrete
+// system: each group's processes share ceil(procs/n) instances of the
+// group's type (one instance for unbounded types), propose their
+// inputs, and decide the response; register processes decide their own
+// inputs. A full instance serves at most n processes and yields at
+// most k distinct responses, so the protocol decides at most
+// Allocation.Cost distinct values — exactly the decision procedure's
+// claim, which explore.Check then verifies on concrete inputs.
+func WitnessProtocol(alloc Allocation, name string) (programs.Protocol, error) {
+	var (
+		objs  []spec.Spec
+		progs []*machine.Program
+	)
+	const regTemp machine.RegID = 3
+	for gi, g := range alloc.Groups {
+		if err := g.Type.Validate(); err != nil {
+			return programs.Protocol{}, err
+		}
+		if g.Procs < 1 {
+			return programs.Protocol{}, fmt.Errorf("collections: group %d has %d processes", gi, g.Procs)
+		}
+		base := len(objs)
+		instances := 1
+		if g.Type.N != objects.Unbounded {
+			instances = (g.Procs + g.Type.N - 1) / g.Type.N
+		}
+		for i := 0; i < instances; i++ {
+			objs = append(objs, objects.SetAgreement{N: g.Type.N, K: g.Type.K})
+		}
+		for l := 0; l < g.Procs; l++ {
+			inst := base
+			if g.Type.N != objects.Unbounded {
+				inst = base + l/g.Type.N
+			}
+			prog := machine.NewBuilder(fmt.Sprintf("%s-g%d", g.Type.Name(), gi), 4).
+				Invoke(regTemp, inst, value.MethodPropose, machine.R(machine.RegInput), machine.Operand{}).
+				Decide(machine.R(regTemp)).
+				MustBuild()
+			progs = append(progs, prog)
+		}
+	}
+	reg := machine.NewBuilder("register-decide-input", 4).
+		Decide(machine.R(machine.RegInput)).
+		MustBuild()
+	for i := 0; i < alloc.Registers; i++ {
+		progs = append(progs, reg)
+	}
+	if len(objs) == 0 {
+		// explore systems want at least the register base.
+		objs = append(objs, objects.NewRegister())
+	}
+	return programs.Protocol{Name: name, Programs: progs, Objects: objs}, nil
+}
+
+// falsifyFamily is the depth-1 symmetric candidate family for an
+// unsolvable verdict: one instance per canonical type plus a register,
+// a propose/write/read menu, and the standard final actions — the
+// collections analogue of the Theorem 5.2/7.1 sweep families.
+func falsifyFamily(c Collection) *enumerate.Family {
+	objs := []spec.Spec{}
+	menu := []enumerate.Invoke{}
+	for _, t := range c.Canonical().Types {
+		menu = append(menu, enumerate.Invoke{Obj: len(objs), Method: value.MethodPropose, Arg: enumerate.ArgInput})
+		objs = append(objs, objects.SetAgreement{N: t.N, K: t.K})
+	}
+	regIdx := len(objs)
+	objs = append(objs, objects.NewRegister())
+	menu = append(menu,
+		enumerate.Invoke{Obj: regIdx, Method: value.MethodWrite, Arg: enumerate.ArgInput},
+		enumerate.Invoke{Obj: regIdx, Method: value.MethodRead},
+	)
+	return &enumerate.Family{
+		Objects: objs,
+		Menu:    menu,
+		Depth:   1,
+		Actions: []enumerate.Action{
+			enumerate.ActDecideInput, enumerate.ActDecideLast, enumerate.ActDecideFirst,
+			enumerate.ActDecideZero, enumerate.ActDecideOne, enumerate.ActRetry,
+		},
+	}
+}
+
+// distinctInputs is the cross-validation input vector: pairwise
+// distinct values, so a K-set agreement violation cannot hide behind
+// colliding inputs.
+func distinctInputs(n int) []value.Value {
+	v := make([]value.Value, n)
+	for i := range v {
+		v[i] = value.Value(10 + i)
+	}
+	return v
+}
+
+// CrossValidate confirms the engine's verdict for one collection and
+// task against the model checker. Solvable verdicts are confirmed
+// constructively — the witness protocol must check out on distinct
+// inputs. Unsolvable verdicts are confirmed by exhaustively falsifying
+// the depth-1 symmetric family over the collection's objects (a
+// consistency check against the richest bounded family the enumerate
+// layer ships, not a proof of unsolvability — the decision procedure
+// itself is the proof).
+func CrossValidate(eng *Engine, c Collection, tsk Task, opts CrossOptions) (CrossResult, error) {
+	if err := tsk.Validate(); err != nil {
+		return CrossResult{}, err
+	}
+	ma, err := eng.MinAgreement(c, tsk.Procs)
+	if err != nil {
+		return CrossResult{}, err
+	}
+	res := CrossResult{
+		Collection: c.String(),
+		Procs:      tsk.Procs,
+		K:          tsk.K,
+		Solvable:   ma <= tsk.K,
+	}
+	target := task.KSetAgreement{N: tsk.Procs, K: tsk.K}
+	if res.Solvable {
+		alloc, err := eng.Allocate(c, tsk.Procs)
+		if err != nil {
+			return CrossResult{}, err
+		}
+		name := fmt.Sprintf("%d-procs %d-SA from %s", tsk.Procs, tsk.K, c.String())
+		proto, err := WitnessProtocol(alloc, name)
+		if err != nil {
+			return CrossResult{}, err
+		}
+		sys, err := proto.System(distinctInputs(tsk.Procs))
+		if err != nil {
+			return CrossResult{}, err
+		}
+		rep, err := explore.Check(sys, target, explore.Options{
+			Workers:   opts.Workers,
+			MaxStates: opts.MaxStates,
+			Obs:       opts.Obs,
+			Events:    opts.Events,
+			Store:     opts.Store,
+		})
+		if err != nil {
+			return CrossResult{}, fmt.Errorf("collections: crosscheck %s: %w", name, err)
+		}
+		res.States = rep.States
+		res.Confirmed = rep.Solved()
+		res.Detail = fmt.Sprintf("witness protocol (%d groups, %d register procs) explored %d states",
+			len(alloc.Groups), alloc.Registers, rep.States)
+	} else {
+		fam := falsifyFamily(c)
+		inputs := distinctInputs(tsk.Procs)
+		reversed := make([]value.Value, len(inputs))
+		for i, v := range inputs {
+			reversed[len(inputs)-1-i] = v
+		}
+		rep, err := enumerate.FalsifySymmetric(fam, target, [][]value.Value{inputs, reversed}, enumerate.SweepOptions{
+			Workers:  opts.Workers,
+			Symmetry: opts.Symmetry,
+			Obs:      opts.Obs,
+			Events:   opts.Events,
+		})
+		if err != nil {
+			return CrossResult{}, fmt.Errorf("collections: falsify %s: %w", c.String(), err)
+		}
+		res.States = rep.States
+		res.Confirmed = rep.Candidates > 0 && len(rep.Solvers) == 0 && len(rep.Inconclusive) == 0
+		res.Detail = fmt.Sprintf("falsified %d candidates (%d solvers, %d inconclusive)",
+			rep.Candidates, len(rep.Solvers), len(rep.Inconclusive))
+	}
+	opts.Obs.Counter("collections.crosschecked").Inc()
+	if !res.Confirmed {
+		opts.Obs.Counter("collections.crosscheck_failures").Inc()
+	}
+	return res, nil
+}
+
+// CrossValidateMatrix cross-validates every collection in the space at
+// every process count 2..maxProcs, on both sides of the verdict
+// boundary: at K = MinAgreement (solvable, must check out) and — when
+// MinAgreement > 1 — at K = MinAgreement-1 (unsolvable, must falsify).
+// It returns every result; callers assert all Confirmed.
+func CrossValidateMatrix(eng *Engine, space Space, maxProcs int, opts CrossOptions) ([]CrossResult, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if maxProcs < 2 {
+		return nil, fmt.Errorf("collections: matrix needs maxProcs >= 2, got %d", maxProcs)
+	}
+	var out []CrossResult
+	for i := 0; i < space.Count(); i++ {
+		c, err := space.At(i)
+		if err != nil {
+			return nil, err
+		}
+		for procs := 2; procs <= maxProcs; procs++ {
+			ma, err := eng.MinAgreement(c, procs)
+			if err != nil {
+				return nil, err
+			}
+			r, err := CrossValidate(eng, c, Task{Procs: procs, K: ma}, opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+			if ma > 1 {
+				r, err := CrossValidate(eng, c, Task{Procs: procs, K: ma - 1}, opts)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,346 @@
+package collections
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"setagree/internal/obs"
+	"setagree/internal/power"
+)
+
+// Task is the verdict question a sweep asks of every collection: can
+// Procs processes solve K-set agreement?
+type Task struct {
+	// Procs is the process count.
+	Procs int `json:"procs"`
+	// K is the agreement bound.
+	K int `json:"k"`
+}
+
+// Validate rejects degenerate tasks.
+func (t Task) Validate() error {
+	if t.Procs < 1 {
+		return fmt.Errorf("collections: task needs procs >= 1, got %d", t.Procs)
+	}
+	if t.K < 1 {
+		return fmt.Errorf("collections: task needs k >= 1, got %d", t.K)
+	}
+	return nil
+}
+
+// SweepOptions configures a collection sweep. The zero value works.
+type SweepOptions struct {
+	// Workers is the decision parallelism (0 = GOMAXPROCS). The report
+	// is byte-identical at any worker count.
+	Workers int
+	// Levels is the power-prefix length rendered per row (0 = 4).
+	Levels int
+	// DisablePrune ablates dominance pruning: the DP runs over raw
+	// multisets and the memo loses cross-collection sharing. Verdicts
+	// and report bytes are unchanged — pinned by tests.
+	DisablePrune bool
+	// Engine is the (shared) decision engine; nil uses a fresh one.
+	Engine *Engine
+	// Obs receives collections.* counters; Events the collections.*
+	// event stream.
+	Obs    *obs.Sink
+	Events *obs.Emitter
+	// OnProgress, when set, runs after every decided collection (any
+	// worker) — the cluster layer's pacing hook.
+	OnProgress func(Progress)
+	// Ctx cancels the sweep (nil = background).
+	Ctx context.Context
+}
+
+// Progress is one decided collection, as seen by OnProgress.
+type Progress struct {
+	// Index is the decided collection's global index.
+	Index int
+	// Decided and Pruned are running counts for this CheckRange call.
+	Decided, Pruned int
+}
+
+func (o SweepOptions) fill() SweepOptions {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Levels < 1 {
+		o.Levels = 4
+	}
+	if o.Engine == nil {
+		o.Engine = NewEngine()
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
+	return o
+}
+
+// Row is one collection's verdict.
+type Row struct {
+	// Index is the collection's index in the space.
+	Index int `json:"index"`
+	// Collection and Canonical render the raw and pruned multisets.
+	Collection string `json:"collection"`
+	Canonical  string `json:"canonical"`
+	// Power is the collection's power-sequence prefix (Levels entries).
+	Power string `json:"power"`
+	// MinAgreement is the least K Procs processes reach.
+	MinAgreement int `json:"min_agreement"`
+	// Solvable reports MinAgreement <= Task.K.
+	Solvable bool `json:"solvable"`
+	// Pruned reports that dominance pruning spared this collection a
+	// fresh evaluation: its canonical form differs from the raw
+	// multiset, or an earlier collection shares the canonical form. The
+	// flag is a function of the space alone — not of scheduling, worker
+	// count, or whether pruning was enabled — so reports stay
+	// byte-identical across all of those.
+	Pruned bool `json:"pruned"`
+}
+
+// RangeReport is the outcome of deciding collections [Lo, Hi) of a
+// space: a pure function of (space, task, levels, range), so disjoint
+// ranges merge deterministically. It doubles as the cluster's
+// collections-shard result document.
+type RangeReport struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Pruned and Solvable count rows in the range with the flag set.
+	Pruned   int `json:"pruned"`
+	Solvable int `json:"solvable"`
+	// Rows holds per-collection verdicts in index order.
+	Rows []Row `json:"rows"`
+}
+
+// Report is the sweep's canonical document.
+type Report struct {
+	// Space and Task echo the sweep parameters.
+	Space Space `json:"space"`
+	Task  Task  `json:"task"`
+	// Levels is the rendered power-prefix length.
+	Levels int `json:"levels"`
+	// Collections is the space size; Pruned and Solvable count rows
+	// with the flag set.
+	Collections int `json:"collections"`
+	Pruned      int `json:"pruned"`
+	Solvable    int `json:"solvable"`
+	// Rows holds every collection's verdict in index order.
+	Rows []Row `json:"rows"`
+}
+
+// Render marshals the canonical byte form: indented JSON with a
+// trailing newline, byte-identical for equal reports.
+func (r *Report) Render() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// CheckRange decides collections [lo, hi) of the space. Verdicts are
+// identical to a full Sweep's (same engine DP, same options), so
+// deciding a partition of [0, Count()) range by range and merging with
+// MergeRanges reproduces the full sweep's Report exactly.
+func CheckRange(space Space, tsk Task, lo, hi int, opts SweepOptions) (*RangeReport, error) {
+	opts = opts.fill()
+	rr, err := checkRange(space, tsk, lo, hi, opts)
+	if err != nil {
+		opts.Events.Emit("collections.error", obs.Fields{"error": err.Error()})
+		return nil, err
+	}
+	opts.Events.Emit("collections.done", obs.Fields{
+		"lo": rr.Lo, "hi": rr.Hi,
+		"decided": rr.Hi - rr.Lo, "pruned": rr.Pruned, "solvable": rr.Solvable,
+	})
+	return rr, nil
+}
+
+func checkRange(space Space, tsk Task, lo, hi int, opts SweepOptions) (*RangeReport, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tsk.Validate(); err != nil {
+		return nil, err
+	}
+	total := space.Count()
+	if lo < 0 || hi > total || lo > hi {
+		return nil, fmt.Errorf("collections: range [%d,%d) outside space [0,%d)", lo, hi, total)
+	}
+	// First appearance of each canonical form among collections
+	// [0, hi): makes Row.Pruned a function of the space, independent of
+	// shard boundaries and scheduling.
+	firstSeen := make(map[string]int)
+	for i := 0; i < hi; i++ {
+		c, err := space.At(i)
+		if err != nil {
+			return nil, err
+		}
+		key := c.Canonical().Key()
+		if _, ok := firstSeen[key]; !ok {
+			firstSeen[key] = i
+		}
+	}
+
+	rows := make([]Row, hi-lo)
+	var (
+		next            atomic.Int64
+		decided, pruned atomic.Int64
+		wg              sync.WaitGroup
+		errMu           sync.Mutex
+		firstErr        error
+	)
+	next.Store(int64(lo))
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= hi {
+					return
+				}
+				if err := opts.Ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				row, err := decideOne(space, tsk, i, firstSeen, opts)
+				if err != nil {
+					fail(err)
+					return
+				}
+				rows[i-lo] = row
+				d := decided.Add(1)
+				p := pruned.Load()
+				if row.Pruned {
+					p = pruned.Add(1)
+					opts.Obs.Counter("collections.pruned").Inc()
+				}
+				opts.Obs.Counter("collections.decided").Inc()
+				if row.Solvable {
+					opts.Obs.Counter("collections.solvable").Inc()
+				}
+				opts.Events.Emit("collections.progress", obs.Fields{
+					"index": i, "decided": d, "pruned": p,
+				})
+				if opts.OnProgress != nil {
+					opts.OnProgress(Progress{Index: i, Decided: int(d), Pruned: int(p)})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rr := &RangeReport{Lo: lo, Hi: hi, Rows: rows}
+	for _, row := range rows {
+		if row.Pruned {
+			rr.Pruned++
+		}
+		if row.Solvable {
+			rr.Solvable++
+		}
+	}
+	return rr, nil
+}
+
+func decideOne(space Space, tsk Task, i int, firstSeen map[string]int, opts SweepOptions) (Row, error) {
+	c, err := space.At(i)
+	if err != nil {
+		return Row{}, err
+	}
+	canon := c.Canonical()
+	ma, err := opts.Engine.minAgreement(c, tsk.Procs, !opts.DisablePrune, opts.Obs)
+	if err != nil {
+		return Row{}, err
+	}
+	seq, err := opts.Engine.powerSeq(c, !opts.DisablePrune)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Index:        i,
+		Collection:   c.String(),
+		Canonical:    canon.String(),
+		Power:        power.Format(seq, opts.Levels),
+		MinAgreement: ma,
+		Solvable:     ma <= tsk.K,
+		Pruned:       canon.Key() != c.Key() || firstSeen[canon.Key()] < i,
+	}, nil
+}
+
+// Sweep decides every collection in the space and returns the
+// canonical Report — a pure function of (space, task, levels),
+// byte-identical at any worker count and with pruning on or off.
+func Sweep(space Space, tsk Task, opts SweepOptions) (*Report, error) {
+	opts = opts.fill()
+	rr, err := CheckRange(space, tsk, 0, space.Count(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return MergeRanges(space, tsk, opts.Levels, []*RangeReport{rr})
+}
+
+// MergeRanges assembles range reports tiling [0, Count()) into the
+// canonical Report. Exact duplicate ranges (cluster retries, steals)
+// collapse; gaps, overlaps, and out-of-range shards are errors.
+func MergeRanges(space Space, tsk Task, levels int, ranges []*RangeReport) (*Report, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tsk.Validate(); err != nil {
+		return nil, err
+	}
+	if levels < 1 {
+		levels = 4
+	}
+	total := space.Count()
+	sorted := append([]*RangeReport(nil), ranges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Lo != sorted[j].Lo {
+			return sorted[i].Lo < sorted[j].Lo
+		}
+		return sorted[i].Hi < sorted[j].Hi
+	})
+	rep := &Report{Space: space, Task: tsk, Levels: levels, Collections: total, Rows: []Row{}}
+	want := 0
+	for i, rr := range sorted {
+		if i > 0 && rr.Lo == sorted[i-1].Lo && rr.Hi == sorted[i-1].Hi {
+			// Duplicate shard: results are deterministic, drop it.
+			continue
+		}
+		if rr.Lo != want {
+			if rr.Lo < want {
+				return nil, fmt.Errorf("collections: merge: shard [%d,%d) overlaps previous end %d", rr.Lo, rr.Hi, want)
+			}
+			return nil, fmt.Errorf("collections: merge: gap [%d,%d) not covered", want, rr.Lo)
+		}
+		if rr.Hi > total {
+			return nil, fmt.Errorf("collections: merge: shard [%d,%d) outside space [0,%d)", rr.Lo, rr.Hi, total)
+		}
+		if len(rr.Rows) != rr.Hi-rr.Lo {
+			return nil, fmt.Errorf("collections: merge: shard [%d,%d) carries %d rows", rr.Lo, rr.Hi, len(rr.Rows))
+		}
+		rep.Rows = append(rep.Rows, rr.Rows...)
+		rep.Pruned += rr.Pruned
+		rep.Solvable += rr.Solvable
+		want = rr.Hi
+	}
+	if want != total {
+		return nil, fmt.Errorf("collections: merge: shards cover [0,%d) of [0,%d)", want, total)
+	}
+	return rep, nil
+}

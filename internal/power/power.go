@@ -16,6 +16,7 @@
 package power
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -23,6 +24,14 @@ import (
 	"setagree/internal/core"
 	"setagree/internal/objects"
 )
+
+// ErrParam is wrapped by every parameter-validation failure in this
+// package. The unchecked constructors (SA, Consensus, MinAgreement)
+// panic with it on nonsense parameters — a silent wrong answer from
+// power arithmetic poisons every decision built on top — while the
+// *Checked variants return it for callers (like the collections
+// enumerator) that drive the formulas with generated parameters.
+var ErrParam = errors.New("power: invalid parameter")
 
 // Infinite is the n_k value for objects that solve k-set agreement
 // among any number of processes. It deliberately equals
@@ -52,13 +61,32 @@ func New(desc string, at func(k int) int) Sequence {
 	return funcSeq{at: at, desc: desc}
 }
 
+// ValidateSA reports whether (n, k) names a set-agreement object
+// type: k >= 1 agreement slots, and either a process bound n >= 1 or
+// n == Infinite for the unbounded object. The error wraps ErrParam.
+func ValidateSA(n, k int) error {
+	if k < 1 {
+		return fmt.Errorf("(%d,%d)-SA: k must be >= 1: %w", n, k, ErrParam)
+	}
+	if n != Infinite && n < 1 {
+		return fmt.Errorf("(%d,%d)-SA: n must be >= 1 or Infinite: %w", n, k, ErrParam)
+	}
+	return nil
+}
+
 // MinAgreement returns the least K such that N processes can solve
 // K-set agreement using (n,k)-SA objects and registers: the
 // Chaudhuri–Reiners level formula floor(N/n)*k + min(N mod n, k),
 // capped at N because N processes always solve N-set agreement
 // trivially (each decides its own input). n == Infinite means the
 // object serves any number of processes, so K = min(N, k).
+// procs <= 0 yields 0 (no processes need no agreement); invalid
+// (n, k) panics with ErrParam — use MinAgreementChecked for generated
+// parameters.
 func MinAgreement(n, k, procs int) int {
+	if err := ValidateSA(n, k); err != nil {
+		panic(err)
+	}
 	if procs <= 0 {
 		return 0
 	}
@@ -79,6 +107,15 @@ func MinAgreement(n, k, procs int) int {
 	return level
 }
 
+// MinAgreementChecked is MinAgreement with the (n, k) validation
+// surfaced as an error instead of a panic.
+func MinAgreementChecked(n, k, procs int) (int, error) {
+	if err := ValidateSA(n, k); err != nil {
+		return 0, err
+	}
+	return MinAgreement(n, k, procs), nil
+}
+
 // CanSolve reports whether N processes can solve K-set agreement using
 // (n,k)-SA objects and registers.
 func CanSolve(n, k, procs, bigK int) bool {
@@ -95,7 +132,13 @@ func CanSolve(n, k, procs, bigK int) bool {
 // (full groups of n processes each consume k agreement slots; leftover
 // slots admit leftover processes; and j processes are always admitted
 // trivially).
+//
+// Invalid (n, k) panics with ErrParam; use SAChecked for generated
+// parameters.
 func SA(n, k int) Sequence {
+	if err := ValidateSA(n, k); err != nil {
+		panic(err)
+	}
 	desc := objects.NewSetAgreement(n, k).Name()
 	return New(desc, func(j int) int {
 		if j < 1 {
@@ -119,9 +162,22 @@ func SA(n, k int) Sequence {
 	})
 }
 
+// SAChecked is SA with the (n, k) validation surfaced as an error
+// instead of a panic.
+func SAChecked(n, k int) (Sequence, error) {
+	if err := ValidateSA(n, k); err != nil {
+		return nil, err
+	}
+	return SA(n, k), nil
+}
+
 // Consensus returns the set agreement power of the m-consensus object:
-// n_k = k*m.
+// n_k = k*m. m < 1 panics with ErrParam; use ConsensusChecked for
+// generated parameters.
 func Consensus(m int) Sequence {
+	if m < 1 {
+		panic(fmt.Errorf("%d-consensus: m must be >= 1: %w", m, ErrParam))
+	}
 	desc := objects.NewConsensus(m).Name()
 	return New(desc, func(k int) int {
 		if k < 1 {
@@ -129,6 +185,15 @@ func Consensus(m int) Sequence {
 		}
 		return k * m
 	})
+}
+
+// ConsensusChecked is Consensus with the m validation surfaced as an
+// error instead of a panic.
+func ConsensusChecked(m int) (Sequence, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%d-consensus: m must be >= 1: %w", m, ErrParam)
+	}
+	return Consensus(m), nil
 }
 
 // ObjectO returns the default concrete instantiation of the set

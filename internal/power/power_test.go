@@ -1,6 +1,7 @@
 package power_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -163,6 +164,82 @@ func TestPrefixAndFormat(t *testing.T) {
 	if s != "(1, ∞, ∞, ...)" {
 		t.Errorf("Format = %q", s)
 	}
+}
+
+// TestCheckedValidation pins the typed-error surface the collections
+// enumerator leans on: every nonsense parameter combination is
+// rejected with an error wrapping power.ErrParam.
+func TestCheckedValidation(t *testing.T) {
+	t.Parallel()
+	bad := []struct {
+		name string
+		err  func() error
+	}{
+		{"SA n=-1", func() error { _, err := power.SAChecked(-1, 2); return err }},
+		{"SA k=0", func() error { _, err := power.SAChecked(2, 0); return err }},
+		{"SA k=-3", func() error { _, err := power.SAChecked(3, -3); return err }},
+		{"Consensus m=0", func() error { _, err := power.ConsensusChecked(0); return err }},
+		{"Consensus m=-2", func() error { _, err := power.ConsensusChecked(-2); return err }},
+		{"MinAgreement n=-1", func() error { _, err := power.MinAgreementChecked(-1, 1, 3); return err }},
+		{"MinAgreement k=0", func() error { _, err := power.MinAgreementChecked(2, 0, 3); return err }},
+		{"ValidateSA k=0", func() error { return power.ValidateSA(2, 0) }},
+	}
+	for _, tc := range bad {
+		err := tc.err()
+		if err == nil {
+			t.Errorf("%s: accepted invalid parameters", tc.name)
+			continue
+		}
+		if !errors.Is(err, power.ErrParam) {
+			t.Errorf("%s: error %v does not wrap ErrParam", tc.name, err)
+		}
+	}
+}
+
+// TestCheckedValidEdges pins that the edge cases the repo relies on —
+// the unbounded object (n == Infinite) and the empty system
+// (procs == 0) — stay accepted.
+func TestCheckedValidEdges(t *testing.T) {
+	t.Parallel()
+	if seq, err := power.SAChecked(power.Infinite, 2); err != nil {
+		t.Errorf("SAChecked(Infinite, 2): %v", err)
+	} else if got := seq.At(1); got != 1 {
+		t.Errorf("unbounded 2-SA n_1 = %d, want 1", got)
+	}
+	if got, err := power.MinAgreementChecked(4, 1, 0); err != nil || got != 0 {
+		t.Errorf("MinAgreementChecked(4,1,0) = %d, %v; want 0, nil", got, err)
+	}
+	if got, err := power.MinAgreementChecked(power.Infinite, 2, 9); err != nil || got != 2 {
+		t.Errorf("MinAgreementChecked(Infinite,2,9) = %d, %v; want 2, nil", got, err)
+	}
+	if _, err := power.ConsensusChecked(1); err != nil {
+		t.Errorf("ConsensusChecked(1): %v", err)
+	}
+}
+
+// TestUncheckedPanics pins that the unchecked constructors fail loudly
+// (not with silent nonsense) on programmer error.
+func TestUncheckedPanics(t *testing.T) {
+	t.Parallel()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: no panic on invalid parameters", name)
+				return
+			}
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, power.ErrParam) {
+				t.Errorf("%s: panic value %v does not wrap ErrParam", name, r)
+			}
+		}()
+		f()
+	}
+	mustPanic("SA(-1,2)", func() { power.SA(-1, 2) })
+	mustPanic("SA(2,0)", func() { power.SA(2, 0) })
+	mustPanic("Consensus(0)", func() { power.Consensus(0) })
+	mustPanic("MinAgreement(2,0,3)", func() { power.MinAgreement(2, 0, 3) })
+	mustPanic("MinAgreement(-4,1,0)", func() { power.MinAgreement(-4, 1, 0) })
 }
 
 func TestTableRenders(t *testing.T) {
